@@ -1,0 +1,27 @@
+"""E1 -- exact min-cut on general graphs (Theorem 1, recovers [DEMN21]).
+
+Times the full pipeline (packing + per-tree 2-respecting) and asserts
+exactness + the polylog round shape via the shared experiment module.
+"""
+
+import repro
+from repro.experiments import e01_general
+from repro.graphs import random_connected_gnm
+
+
+def test_e01_minimum_cut_general(benchmark):
+    graph = random_connected_gnm(48, 120, seed=48, weight_high=30)
+
+    def run():
+        return repro.minimum_cut(graph, seed=48, num_trees=6)
+
+    result = benchmark(run)
+    assert result.value > 0
+    assert result.ma_rounds > 0
+
+
+def test_e01_claim_shape():
+    outcome = e01_general.run(quick=True)
+    print()
+    print(outcome.summary())
+    assert outcome.holds, outcome.observed

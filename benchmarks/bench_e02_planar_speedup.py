@@ -1,0 +1,22 @@
+"""E2 -- the Õ(D) excluded-minor guarantee on planar networks."""
+
+import repro
+from repro.experiments import e02_planar
+from repro.graphs import delaunay_planar_graph
+
+
+def test_e02_minimum_cut_planar(benchmark):
+    graph = delaunay_planar_graph(80, seed=17, weight_high=50)
+
+    def run():
+        return repro.minimum_cut(graph, seed=17, solver="oracle", num_trees=6)
+
+    result = benchmark(run)
+    assert result.congest.excluded_minor > 0
+
+
+def test_e02_claim_shape():
+    outcome = e02_planar.run(quick=True)
+    print()
+    print(outcome.summary())
+    assert outcome.holds, outcome.observed

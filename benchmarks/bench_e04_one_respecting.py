@@ -1,0 +1,26 @@
+"""E4 -- Theorem 18: 1-respecting cuts, engine-genuine rounds."""
+
+from repro.core.one_respecting import one_respecting_cuts
+from repro.experiments import e04_one_respecting
+from repro.graphs import random_connected_gnm, random_spanning_tree
+from repro.ma.engine import MinorAggregationEngine
+from repro.trees.rooted import RootedTree
+
+
+def test_e04_one_respecting(benchmark):
+    graph = random_connected_gnm(60, 150, seed=5)
+    tree = RootedTree(random_spanning_tree(graph, seed=6), 0)
+
+    def run():
+        engine = MinorAggregationEngine(graph)
+        return one_respecting_cuts(graph, tree, engine=engine)
+
+    values = benchmark(run)
+    assert len(values) == 59
+
+
+def test_e04_claim_shape():
+    outcome = e04_one_respecting.run(quick=True)
+    print()
+    print(outcome.summary())
+    assert outcome.holds, outcome.observed

@@ -1,0 +1,21 @@
+"""E5 -- Theorem 19 / Figure 1: path-to-path Monge recursion."""
+
+from repro.experiments import e05_path_to_path
+from repro.core.path_to_path import PathToPathSolver
+
+
+def test_e05_path_to_path(benchmark):
+    instance = e05_path_to_path.make_instance(128, 128, 384, seed=128)
+
+    def run():
+        return PathToPathSolver().solve(instance)
+
+    result = benchmark(run)
+    assert result is not None
+
+
+def test_e05_claim_shape():
+    outcome = e05_path_to_path.run(quick=True)
+    print()
+    print(outcome.summary())
+    assert outcome.holds, outcome.observed

@@ -1,0 +1,16 @@
+"""E6 -- Theorem 27 / Figure 2: star instances + interest lists."""
+
+from repro.core.star import solve_star
+from repro.experiments import e06_star_interest
+
+
+def test_e06_solve_star(benchmark):
+    _graph, _rooted, instance = e06_star_interest.make_star([5] * 8, 96, seed=8)
+    benchmark(lambda: solve_star(instance))
+
+
+def test_e06_claim_shape():
+    outcome = e06_star_interest.run(quick=True)
+    print()
+    print(outcome.summary())
+    assert outcome.holds, outcome.observed

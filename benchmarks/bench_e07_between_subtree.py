@@ -1,0 +1,18 @@
+"""E7 -- Theorem 39 / Figures 3-4: between-subtree reduction."""
+
+from repro.core.subtree_instance import solve_subtree_instance
+from repro.experiments import e07_between_subtree
+
+
+def test_e07_between_subtree(benchmark):
+    _g, _rt, _groups, instance = e07_between_subtree.make_instance(
+        [4, 5, 4, 5], 40, seed=4
+    )
+    benchmark(lambda: solve_subtree_instance(instance))
+
+
+def test_e07_claim_shape():
+    outcome = e07_between_subtree.run(quick=True)
+    print()
+    print(outcome.summary())
+    assert outcome.holds, outcome.observed

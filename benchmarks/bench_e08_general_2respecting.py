@@ -1,0 +1,20 @@
+"""E8 -- Theorem 40 / Figure 5: general 2-respecting min-cut."""
+
+from repro.core.general import two_respecting_min_cut
+from repro.experiments import e08_general_two_respecting
+from repro.graphs import random_connected_gnm, random_spanning_tree
+from repro.trees.rooted import RootedTree
+
+
+def test_e08_two_respecting(benchmark):
+    graph = random_connected_gnm(64, 160, seed=64, weight_high=40)
+    tree = RootedTree(random_spanning_tree(graph, seed=65), 0)
+    result = benchmark(lambda: two_respecting_min_cut(graph, tree))
+    assert result.best is not None
+
+
+def test_e08_claim_shape():
+    outcome = e08_general_two_respecting.run(quick=True)
+    print()
+    print(outcome.summary())
+    assert outcome.holds, outcome.observed

@@ -1,0 +1,29 @@
+"""E9 -- Theorem 14: virtual-node simulation overhead is O(beta+1)."""
+
+from repro.experiments import e09_virtual_overhead
+from repro.graphs import random_connected_gnm
+from repro.ma.engine import MinorAggregationEngine
+from repro.ma.operators import SUM
+from repro.ma.virtual import VirtualGraph
+
+
+def test_e09_virtual_broadcast(benchmark):
+    base = random_connected_gnm(30, 70, seed=3)
+    vg = VirtualGraph(base)
+    for index in range(8):
+        virt = vg.add_virtual_node()
+        vg.add_virtual_edge(virt, index, weight=1)
+
+    def run():
+        engine = MinorAggregationEngine(vg.graph)
+        return engine.broadcast({v: 1 for v in vg.graph.nodes()}, SUM)
+
+    total = benchmark(run)
+    assert total == 38
+
+
+def test_e09_claim_shape():
+    outcome = e09_virtual_overhead.run(quick=True)
+    print()
+    print(outcome.summary())
+    assert outcome.holds, outcome.observed

@@ -1,0 +1,30 @@
+"""E10 -- Appendix A: deterministic primitives, measured engine rounds."""
+
+from repro.experiments import e10_primitives
+from repro.graphs import random_connected_gnm, random_spanning_tree
+from repro.ma.engine import MinorAggregationEngine
+from repro.ma.operators import SUM
+from repro.trees.hld import HeavyLightDecomposition
+from repro.trees.rooted import RootedTree
+from repro.trees.sums import subtree_sums
+
+
+def test_e10_subtree_sum(benchmark):
+    graph = random_connected_gnm(128, 256, seed=128)
+    tree = RootedTree(random_spanning_tree(graph, seed=129), 0)
+    hld = HeavyLightDecomposition(tree)
+    values = {v: 1 for v in tree.order}
+
+    def run():
+        engine = MinorAggregationEngine(graph)
+        return subtree_sums(engine, tree, hld, values, SUM)
+
+    sums = benchmark(run)
+    assert sums[tree.root] == 128
+
+
+def test_e10_claim_shape():
+    outcome = e10_primitives.run(quick=True)
+    print()
+    print(outcome.summary())
+    assert outcome.holds, outcome.observed

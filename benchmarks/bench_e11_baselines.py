@@ -1,0 +1,18 @@
+"""E11 -- who wins: naive collect-at-leader vs the paper's bounds."""
+
+from repro.baselines import naive_congest_min_cut
+from repro.experiments import e11_baselines
+from repro.graphs import random_connected_gnm
+
+
+def test_e11_naive_baseline(benchmark):
+    graph = random_connected_gnm(24, 60, seed=25)
+    out = benchmark(lambda: naive_congest_min_cut(graph))
+    assert out["rounds"] > 0
+
+
+def test_e11_claim_shape():
+    outcome = e11_baselines.run(quick=True)
+    print()
+    print(outcome.summary())
+    assert outcome.holds, outcome.observed

@@ -1,0 +1,19 @@
+"""E12 -- shortcut quality: planar Õ(D) vs general O(D + sqrt n)."""
+
+from repro.experiments import e12_shortcut_quality
+from repro.graphs import grid_graph
+from repro.shortcuts import greedy_shortcuts, random_connected_partition
+
+
+def test_e12_greedy_shortcuts(benchmark):
+    graph = grid_graph(8, 8, seed=1)
+    parts = random_connected_partition(graph, 10, seed=1)
+    assignment = benchmark(lambda: greedy_shortcuts(graph, parts))
+    assert assignment.quality >= 1
+
+
+def test_e12_claim_shape():
+    outcome = e12_shortcut_quality.run(quick=True)
+    print()
+    print(outcome.summary())
+    assert outcome.holds, outcome.observed

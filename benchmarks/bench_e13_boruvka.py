@@ -1,0 +1,23 @@
+"""E13 -- Boruvka MST as a Minor-Aggregation algorithm (O(log n) rounds)."""
+
+from repro.experiments import e13_boruvka
+from repro.graphs import random_connected_gnm
+from repro.ma.boruvka import boruvka_mst
+from repro.ma.engine import MinorAggregationEngine
+
+
+def test_e13_boruvka(benchmark):
+    graph = random_connected_gnm(256, 768, seed=11)
+
+    def run():
+        return boruvka_mst(MinorAggregationEngine(graph))
+
+    mst = benchmark(run)
+    assert len(mst) == 255
+
+
+def test_e13_claim_shape():
+    outcome = e13_boruvka.run(quick=True)
+    print()
+    print(outcome.summary())
+    assert outcome.holds, outcome.observed

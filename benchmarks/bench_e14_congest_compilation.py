@@ -1,0 +1,32 @@
+"""E14 -- Theorem 17 executed: compile one MA round into CONGEST."""
+
+import random
+
+from repro.experiments import e14_congest_compilation
+from repro.graphs import random_connected_gnm
+from repro.ma.compile import compile_ma_round
+from repro.ma.operators import SUM
+from repro.trees.rooted import edge_key
+
+
+def test_e14_compiled_round(benchmark):
+    graph = random_connected_gnm(24, 55, seed=9)
+    rng = random.Random(9)
+    contract = {edge_key(u, v) for u, v in graph.edges() if rng.random() < 0.35}
+    inputs = {v: v for v in graph.nodes()}
+
+    def run():
+        return compile_ma_round(
+            graph, contract=contract, node_input=inputs, consensus_op=SUM,
+            edge_message=lambda e, u, v, yu, yv: (yu, yv), aggregate_op=SUM,
+        )
+
+    out = benchmark(run)
+    assert out.congest_rounds > 0
+
+
+def test_e14_claim_shape():
+    outcome = e14_congest_compilation.run(quick=True)
+    print()
+    print(outcome.summary())
+    assert outcome.holds, outcome.observed

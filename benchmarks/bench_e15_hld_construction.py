@@ -1,0 +1,17 @@
+"""E15 -- Lemma 47: merge-based HLD construction."""
+
+from repro.experiments import e15_hld_construction
+from repro.trees.hld_construction import build_hld_distributed
+
+
+def test_e15_hld_construction(benchmark):
+    tree = e15_hld_construction._random_tree(256, seed=256)
+    result = benchmark(lambda: build_hld_distributed(tree))
+    assert result.part_counts[-1] == 1
+
+
+def test_e15_claim_shape():
+    outcome = e15_hld_construction.run(quick=True)
+    print()
+    print(outcome.summary())
+    assert outcome.holds, outcome.observed

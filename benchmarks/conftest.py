@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+Each bench file regenerates one experiment row of DESIGN.md (E1-E13):
+it times the experiment's core operation with pytest-benchmark and asserts
+the paper-claim shape via the shared ``repro.experiments`` modules -- the
+same code that produces EXPERIMENTS.md, so the report is regenerable.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick():
+    return True

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Universal optimality on structured networks (Theorem 1, bullet 1).
+
+The paper's headline beyond-worst-case claim: the same algorithm that needs
+Õ(D + sqrt(n)) rounds on adversarial topologies completes in Õ(D) rounds on
+planar (more generally, excluded-minor) networks.  We model a metro fiber
+network as a Delaunay triangulation, compute its exact min-cut, and compare
+the compile-down estimates: for a planar network with D << sqrt(n) the
+excluded-minor simulation wins by exactly the sqrt(n)/D factor the paper
+promises.
+
+Run:  python examples/planar_network.py
+"""
+
+import networkx as nx
+
+import repro
+from repro.graphs import delaunay_planar_graph
+
+
+def main() -> None:
+    for n in (40, 80, 160):
+        graph = delaunay_planar_graph(n, seed=3, weight_high=100)
+        diameter = nx.diameter(graph)
+        planar = nx.check_planarity(graph)[0]
+        result = repro.minimum_cut(graph, seed=3, solver="oracle")
+        est = repro.congest_estimates(
+            max(result.ma_rounds, 1.0), graph=graph
+        )
+        print(
+            f"n={n:4d} m={graph.number_of_edges():4d} D={diameter:3d} "
+            f"planar={planar} cut={result.value:7.0f} | "
+            f"general ~{est.general:12,.0f} rounds vs "
+            f"excluded-minor ~{est.excluded_minor:12,.0f} rounds "
+            f"(speedup x{est.general / max(est.excluded_minor, 1):.2f})"
+        )
+    print()
+    print("On planar networks the Õ(D)-round simulation beats the general")
+    print("Õ(D+sqrt(n)) bound whenever D << sqrt(n) -- universal optimality")
+    print("adapts the cost to the topology, with no change to the algorithm.")
+
+
+if __name__ == "__main__":
+    main()

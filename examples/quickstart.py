@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: exact weighted min-cut with full round accounting.
+
+Builds a small weighted network, runs the paper's Minor-Aggregation min-cut
+(Theorem 1), checks it against the centralized Stoer-Wagner ground truth,
+and prints the Theorem 17 CONGEST estimates for every regime.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+from repro.baselines import stoer_wagner_min_cut
+from repro.graphs import random_connected_gnm
+
+
+def main() -> None:
+    graph = random_connected_gnm(48, 120, seed=7, weight_high=40)
+    print(f"graph: n={graph.number_of_nodes()}, m={graph.number_of_edges()}")
+
+    result = repro.minimum_cut(graph, seed=7)
+    reference, _partition = stoer_wagner_min_cut(graph)
+
+    print(f"min-cut value          : {result.value}")
+    print(f"Stoer-Wagner reference : {reference}")
+    assert abs(result.value - reference) < 1e-9, "exactness violated!"
+
+    side_a, side_b = result.partition
+    print(f"partition sizes        : {len(side_a)} | {len(side_b)}")
+    print(f"cut edges              : {sorted(result.cut_edges)}")
+    print(f"witness tree edges     : {result.respecting_edges} "
+          f"({result.candidate.kind} of tree #{result.best_tree_index})")
+    print(f"packed trees           : {len(result.packing.trees)}")
+    print()
+    print(f"Minor-Aggregation rounds (measured + charged): {result.ma_rounds:,.0f}")
+    est = result.congest
+    print("Theorem 17 CONGEST estimates:")
+    print(f"  general graphs  ~ Õ(D+sqrt(n)) : {est.general:,.0f}")
+    print(f"  excluded-minor  ~ Õ(D)         : {est.excluded_minor:,.0f}")
+    print(f"  known topology  ~ Õ(SQ(G))     : {est.known_topology:,.0f}")
+    print(f"  well-connected  ~ 2^O(√log n)  : {est.mixing:,.0f}")
+
+
+if __name__ == "__main__":
+    main()

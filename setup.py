@@ -1,0 +1,6 @@
+"""Legacy entry point so `python setup.py develop` works offline
+(the sandbox lacks the `wheel` package needed by PEP 517 editable installs)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""repro -- Universally-Optimal Distributed Exact Min-Cut (PODC 2022).
+
+A full reproduction of Ghaffari & Zuzic's aggregation-based exact min-cut:
+the Minor-Aggregation model with virtual nodes, the deterministic tree
+primitives of Appendix A, the 2-respecting solver chain (path-to-path, star,
+between-subtree, general), Karger-style tree packing, compile-down cost
+models to CONGEST, and the baselines they are measured against.
+
+Quickstart::
+
+    import repro
+    from repro.graphs import random_connected_gnm
+
+    G = random_connected_gnm(60, 150, seed=1)
+    result = repro.minimum_cut(G, seed=1)
+    print(result.value, result.ma_rounds, result.congest.general)
+"""
+
+from repro.accounting import CostModel, RoundAccountant
+from repro.core import (
+    CutCandidate,
+    MinCutResult,
+    minimum_cut,
+    one_respecting_cuts,
+    one_respecting_min_cut,
+    pack_trees,
+    two_respecting_min_cut,
+    two_respecting_oracle,
+)
+from repro.ma import MinorAggregationEngine, congest_estimates
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "RoundAccountant",
+    "CutCandidate",
+    "MinCutResult",
+    "minimum_cut",
+    "one_respecting_cuts",
+    "one_respecting_min_cut",
+    "pack_trees",
+    "two_respecting_min_cut",
+    "two_respecting_oracle",
+    "MinorAggregationEngine",
+    "congest_estimates",
+    "__version__",
+]

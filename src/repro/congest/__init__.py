@@ -1,0 +1,28 @@
+"""The CONGEST message-passing model (paper Section 1, "Model").
+
+A synchronous network of nodes exchanging O(log n)-bit messages per edge per
+round.  :class:`~repro.congest.network.CongestNetwork` executes node
+programs round by round, counts rounds, and audits message sizes;
+:mod:`repro.congest.algorithms` provides the classic building blocks (BFS
+tree, broadcast, convergecast, leader election) plus the naive
+collect-at-a-leader exact min-cut baseline the paper's algorithms are
+compared against.
+"""
+
+from repro.congest.network import CongestNetwork, NodeProgram, NodeContext
+from repro.congest.algorithms import (
+    bfs_tree,
+    broadcast,
+    convergecast_sum,
+    leader_election,
+)
+
+__all__ = [
+    "CongestNetwork",
+    "NodeProgram",
+    "NodeContext",
+    "bfs_tree",
+    "broadcast",
+    "convergecast_sum",
+    "leader_election",
+]

@@ -1,0 +1,147 @@
+"""Synchronous CONGEST network simulator.
+
+Each node runs a :class:`NodeProgram`: per round it receives the messages
+sent to it in the previous round (a dict keyed by neighbor) and returns the
+messages to send (a dict keyed by neighbor).  The simulator enforces the
+CONGEST discipline: one message per edge direction per round, each at most
+``message_bits`` bits (default ``32 * ceil(log2 n)``, i.e. a constant number
+of O(log n)-bit words, matching the convention that an edge/node descriptor
+fits in one message).
+
+Nodes only know their own ID, their neighbors' IDs, and ``n`` -- exactly the
+paper's initial-knowledge assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+import networkx as nx
+
+from repro.accounting import log2ceil
+from repro.ma.operators import estimate_bits
+
+Node = Hashable
+
+
+@dataclass
+class NodeContext:
+    """What a node legitimately knows."""
+
+    node: Node
+    neighbors: list[Node]
+    n: int
+    state: dict = field(default_factory=dict)
+
+
+class NodeProgram:
+    """Override :meth:`start` and :meth:`round`; manage ``ctx.state['done']``.
+
+    A program that never touches ``done`` is considered passive: it
+    terminates as soon as the network is quiescent.  Programs with silent
+    phases must set ``ctx.state['done'] = False`` up front and flip it when
+    finished.
+    """
+
+    def start(self, ctx: NodeContext) -> dict[Node, Any]:
+        """Messages to send in round 1."""
+        return {}
+
+    def round(self, ctx: NodeContext, received: dict[Node, Any]) -> dict[Node, Any]:
+        """Process round ``r`` inbox, return round ``r+1`` outbox."""
+        return {}
+
+    def done(self, ctx: NodeContext) -> bool:
+        return bool(ctx.state.get("done", True))
+
+
+class MessageTooLarge(RuntimeError):
+    pass
+
+
+class CongestNetwork:
+    """Executes a :class:`NodeProgram` on every node of a topology."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        message_bits: int | None = None,
+        enforce_message_size: bool = True,
+    ):
+        if not nx.is_connected(graph):
+            raise ValueError("CONGEST requires a connected graph")
+        self.graph = graph
+        self.n = graph.number_of_nodes()
+        self.message_bits = message_bits or 32 * log2ceil(self.n)
+        self.enforce_message_size = enforce_message_size
+        self.rounds_executed = 0
+        self.messages_sent = 0
+        self.max_message_bits_seen = 0
+
+    def _check(self, sender: Node, target: Node, message: Any) -> None:
+        if target not in self.graph[sender]:
+            raise ValueError(f"{sender!r} tried to message non-neighbor {target!r}")
+        bits = estimate_bits(message)
+        if bits > self.max_message_bits_seen:
+            self.max_message_bits_seen = bits
+        if self.enforce_message_size and bits > self.message_bits:
+            raise MessageTooLarge(
+                f"{sender!r}->{target!r}: {bits} bits > budget {self.message_bits}"
+            )
+
+    def run(
+        self,
+        program_factory: Callable[[], NodeProgram],
+        max_rounds: int | None = None,
+    ) -> dict[Node, NodeContext]:
+        """Run until every node reports done (or ``max_rounds``)."""
+        if max_rounds is None:
+            max_rounds = 4 * (self.n + self.graph.number_of_edges()) + 16
+        programs: dict[Node, NodeProgram] = {}
+        contexts: dict[Node, NodeContext] = {}
+        for node in self.graph.nodes():
+            contexts[node] = NodeContext(
+                node=node, neighbors=sorted(
+                    self.graph.neighbors(node),
+                    key=lambda v: (type(v).__name__, str(v)),
+                ), n=self.n,
+            )
+            programs[node] = program_factory()
+
+        outboxes: dict[Node, dict[Node, Any]] = {}
+        for node in self.graph.nodes():
+            outbox = programs[node].start(contexts[node]) or {}
+            for target, message in outbox.items():
+                self._check(node, target, message)
+            outboxes[node] = outbox
+
+        for _ in range(max_rounds):
+            pending = any(outbox for outbox in outboxes.values())
+            if not pending and all(
+                programs[v].done(contexts[v]) for v in self.graph.nodes()
+            ):
+                break
+            inboxes: dict[Node, dict[Node, Any]] = {v: {} for v in self.graph.nodes()}
+            any_message = False
+            for sender, outbox in outboxes.items():
+                for target, message in outbox.items():
+                    inboxes[target][sender] = message
+                    self.messages_sent += 1
+                    any_message = True
+            self.rounds_executed += 1
+            next_outboxes: dict[Node, dict[Node, Any]] = {}
+            for node in self.graph.nodes():
+                outbox = programs[node].round(contexts[node], inboxes[node]) or {}
+                for target, message in outbox.items():
+                    self._check(node, target, message)
+                next_outboxes[node] = outbox
+            outboxes = next_outboxes
+            if (
+                not any_message
+                and all(not outbox for outbox in outboxes.values())
+                and all(programs[v].done(contexts[v]) for v in self.graph.nodes())
+            ):
+                # Quiescent: nothing in flight, nothing queued, all done.
+                break
+        return contexts

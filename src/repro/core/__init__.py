@@ -1,0 +1,42 @@
+"""The paper's primary contribution: exact min-cut via tree packing and
+universally near-optimal 2-respecting min-cut (Sections 5-9).
+
+Solver chain, bottom-up:
+
+* :mod:`repro.core.cut_values` -- cut/cover definitions and the exact oracle.
+* :mod:`repro.core.one_respecting` -- Theorem 18 (engine-genuine warm-up).
+* :mod:`repro.core.path_to_path` -- Theorem 19 (Monge recursion).
+* :mod:`repro.core.interest` + :mod:`repro.core.star` -- Theorem 27.
+* :mod:`repro.core.subtree_instance` -- Theorem 39.
+* :mod:`repro.core.general` -- Theorem 40 (centroid recursion).
+* :mod:`repro.core.tree_packing` -- Theorem 12.
+* :mod:`repro.core.mincut` -- Theorem 1, the end-to-end algorithm.
+"""
+
+from repro.core.cut_values import (
+    CutCandidate,
+    cover_values,
+    cut_matrix,
+    cut_partition,
+    pair_cover_matrix,
+    two_respecting_oracle,
+)
+from repro.core.one_respecting import one_respecting_cuts, one_respecting_min_cut
+from repro.core.general import two_respecting_min_cut
+from repro.core.tree_packing import pack_trees
+from repro.core.mincut import MinCutResult, minimum_cut
+
+__all__ = [
+    "CutCandidate",
+    "cover_values",
+    "cut_matrix",
+    "cut_partition",
+    "pair_cover_matrix",
+    "two_respecting_oracle",
+    "one_respecting_cuts",
+    "one_respecting_min_cut",
+    "two_respecting_min_cut",
+    "pack_trees",
+    "MinCutResult",
+    "minimum_cut",
+]

@@ -1,0 +1,148 @@
+"""Cut and cover values (paper Section 3.2) plus the exact oracle.
+
+Given a spanning tree ``T`` of a weighted graph ``G``:
+
+* ``Cov(e)``   -- total weight of graph edges whose tree path covers ``e``;
+* ``Cov(e,f)`` -- total weight of graph edges whose tree path covers both;
+* ``Cut(e)``   -- the 1-respecting cut value (= ``Cov(e)``, Fact 5);
+* ``Cut(e,f) = Cov(e) + Cov(f) - 2 Cov(e,f)`` (Fact 5), the weight of the
+  unique cut crossing exactly ``{e, f}`` among tree edges.
+
+Removing ``e`` and ``f`` splits ``T`` into three components; ``Cut(e, f)``
+is the weight of the bipartition separating the *middle* component from the
+other two -- :func:`cut_partition` materialises it.
+
+The :func:`two_respecting_oracle` computes the exact minimum over all pairs
+by dense matrix accumulation (O(m L^2) where L is the tree-path length); it
+is the ground truth every distributed solver in this package is validated
+against, and doubles as the fast centralized baseline of [GMW20]-style
+2-respecting computations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+import networkx as nx
+import numpy as np
+
+from repro.trees.rooted import Edge, Node, RootedTree, edge_key
+
+
+@dataclass(frozen=True)
+class CutCandidate:
+    """A (1- or 2-)respecting cut candidate: its value and its tree edges."""
+
+    value: float
+    edges: tuple[Edge, ...]
+
+    @property
+    def kind(self) -> str:
+        return f"{len(self.edges)}-respecting"
+
+    def better_than(self, other: "CutCandidate | None") -> bool:
+        if other is None:
+            return True
+        return (self.value, len(self.edges)) < (other.value, len(other.edges))
+
+
+def best_candidate(candidates) -> CutCandidate | None:
+    """Minimum-value candidate (ties broken toward fewer edges)."""
+    best: CutCandidate | None = None
+    for candidate in candidates:
+        if candidate is not None and candidate.better_than(best):
+            best = candidate
+    return best
+
+
+def cover_values(graph: nx.Graph, tree: RootedTree) -> dict[Edge, float]:
+    """``Cov(e)`` for every tree edge, by direct path accumulation."""
+    cov: dict[Edge, float] = {edge: 0.0 for edge in tree.edges()}
+    for u, v, data in graph.edges(data=True):
+        weight = data.get("weight", 1)
+        if weight == 0 or u == v:
+            continue
+        for edge in tree.path_edges(u, v):
+            cov[edge] += weight
+    return cov
+
+
+def pair_cover_matrix(
+    graph: nx.Graph, tree: RootedTree
+) -> tuple[list[Edge], np.ndarray]:
+    """``Cov(e, f)`` for every pair of tree edges, as a dense matrix.
+
+    Returns the tree-edge list (fixing the index order) and the symmetric
+    matrix ``M`` with ``M[i, j] = Cov(e_i, e_j)`` and ``M[i, i] = Cov(e_i)``.
+    """
+    edges = list(tree.edges())
+    index = {edge: i for i, edge in enumerate(edges)}
+    matrix = np.zeros((len(edges), len(edges)), dtype=float)
+    for u, v, data in graph.edges(data=True):
+        weight = data.get("weight", 1)
+        if weight == 0 or u == v:
+            continue
+        path = [index[e] for e in tree.path_edges(u, v)]
+        if path:
+            idx = np.array(path)
+            matrix[np.ix_(idx, idx)] += weight
+    return edges, matrix
+
+
+def cut_matrix(graph: nx.Graph, tree: RootedTree) -> tuple[list[Edge], np.ndarray]:
+    """``Cut(e_i, e_j)`` matrix; the diagonal holds 1-respecting values."""
+    edges, cov = pair_cover_matrix(graph, tree)
+    diag = np.diag(cov).copy()
+    cuts = diag[:, None] + diag[None, :] - 2 * cov
+    np.fill_diagonal(cuts, diag)
+    return edges, cuts
+
+
+def two_respecting_oracle(graph: nx.Graph, tree: RootedTree) -> CutCandidate:
+    """Exact minimum over all 1- and 2-respecting cuts (the ground truth)."""
+    edges, cuts = cut_matrix(graph, tree)
+    if not edges:
+        raise ValueError("tree has no edges")
+    flat = int(np.argmin(cuts))
+    i, j = divmod(flat, len(edges))
+    if i == j:
+        return CutCandidate(value=float(cuts[i, j]), edges=(edges[i],))
+    return CutCandidate(value=float(cuts[i, j]), edges=(edges[i], edges[j]))
+
+
+def cut_partition(tree: RootedTree, edges: tuple[Edge, ...]) -> frozenset[Node]:
+    """One side of the cut determined by the given tree edge(s).
+
+    For one edge: the bottom subtree.  For two edges: the middle component
+    (between the two edges if nested, the root component otherwise -- in the
+    non-nested case the returned side is the complement of the two bottom
+    subtrees, which induces the same bipartition).
+    """
+    if len(edges) == 1:
+        return frozenset(tree.subtree_nodes(tree.bottom(edges[0])))
+    if len(edges) != 2:
+        raise ValueError("a respecting cut has one or two tree edges")
+    e, f = edges
+    be, bf = tree.bottom(e), tree.bottom(f)
+    if tree.is_ancestor(be, bf):
+        middle = set(tree.subtree_nodes(be)) - set(tree.subtree_nodes(bf))
+        return frozenset(middle)
+    if tree.is_ancestor(bf, be):
+        middle = set(tree.subtree_nodes(bf)) - set(tree.subtree_nodes(be))
+        return frozenset(middle)
+    below = set(tree.subtree_nodes(be)) | set(tree.subtree_nodes(bf))
+    return frozenset(set(tree.order) - below)
+
+
+def partition_cut_weight(
+    graph: nx.Graph, side: frozenset[Node]
+) -> tuple[float, list[tuple[Node, Node]]]:
+    """Weight and edge list of the cut induced by a node bipartition."""
+    crossing = []
+    total = 0.0
+    for u, v, data in graph.edges(data=True):
+        if (u in side) != (v in side):
+            crossing.append(edge_key(u, v))
+            total += data.get("weight", 1)
+    return total, crossing

@@ -1,0 +1,330 @@
+"""General 2-respecting min-cut (paper Section 9, Theorem 40).
+
+Given a spanning tree ``T`` of ``G``, find ``min Cut(e, f)`` over all pairs
+of tree edges (the 1-respecting minimum is folded in by the caller).  The
+recursion follows the paper exactly:
+
+* find the **centroid** ``c`` of the current tree (Fact 41 / Lemma 42);
+* **between-subtree pairs**: replace ``c`` by a virtual root ``r*`` and a
+  private virtual centroid ``c_i`` per subtree (subdividing the centroid's
+  tree edges), remap ``c``'s graph edges onto ``r*``, and call the
+  between-subtree solver (Theorem 39) -- an extension of the graph by
+  O(1) virtual nodes (Theorem 14);
+* **same-subtree pairs**: build the private cut-equivalent graphs ``H_i``
+  of Lemma 43 (inside edges kept, crossing edges split onto ``c_i``) and
+  recurse; sibling calls are node-disjoint and scheduled in parallel
+  (Corollary 11).
+
+The centroid guarantees O(log n) recursion depth, so each call carries at
+most O(log n) virtual nodes -- which the implementation tracks and the test
+suite asserts (the paper's |Virt| <= O(log n) invariant).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import networkx as nx
+
+from repro.accounting import RoundAccountant
+from repro.core.cut_values import (
+    CutCandidate,
+    best_candidate,
+    pair_cover_matrix,
+)
+from repro.core.one_respecting import one_respecting_cuts_fast
+from repro.core.subtree_instance import (
+    SubtreeInstance,
+    SubtreeSolveStats,
+    solve_subtree_instance,
+)
+from repro.trees.centroid import find_centroid_centralized
+from repro.trees.rooted import Edge, Node, RootedTree, edge_key
+
+#: Trees with at most this many edges are solved by direct enumeration.
+BASE_CASE_EDGES = 8
+
+_virtual_counter = itertools.count()
+
+
+def _fresh(tag: str) -> tuple:
+    return (f"__{tag}__", next(_virtual_counter))
+
+
+@dataclass
+class GeneralSolveStats:
+    instances: int = 0
+    max_depth: int = 0
+    max_virtual_nodes: int = 0
+    base_cases: int = 0
+    subtree: SubtreeSolveStats = field(default_factory=SubtreeSolveStats)
+
+
+@dataclass
+class TwoRespectingResult:
+    """Outcome of Theorem 40 plus the folded-in 1-respecting minimum."""
+
+    best: CutCandidate
+    one_respecting: CutCandidate
+    two_respecting: CutCandidate | None
+    ma_rounds: float
+    stats: GeneralSolveStats
+    accountant: RoundAccountant
+
+
+def _add_weight(graph: nx.Graph, u: Node, v: Node, weight: float) -> None:
+    if u == v:
+        return
+    if graph.has_edge(u, v):
+        graph[u][v]["weight"] += weight
+    else:
+        graph.add_edge(u, v, weight=weight)
+
+
+class GeneralTwoRespectingSolver:
+    def __init__(self, accountant: RoundAccountant | None = None):
+        self.acct = accountant or RoundAccountant()
+        self.stats = GeneralSolveStats()
+
+    # ------------------------------------------------------------------
+    def _base_case(
+        self,
+        graph: nx.Graph,
+        tree: RootedTree,
+        cov: Mapping[Edge, float],
+        orig_of: Mapping[Edge, Edge],
+    ) -> CutCandidate | None:
+        """Enumerate every pair directly; the instance graphs are
+        pair-cover exact, and Cov(e) singles are carried globals."""
+        self.stats.base_cases += 1
+        self.acct.charge(
+            self.acct.cost.subtree_sum(len(tree)) + 2, "general:base-case"
+        )
+        edges, matrix = pair_cover_matrix(graph, tree)
+        labelled = [
+            (index, orig_of[edge])
+            for index, edge in enumerate(edges)
+            if edge in orig_of
+        ]
+        candidates = []
+        for a in range(len(labelled)):
+            ia, orig_a = labelled[a]
+            for b in range(a + 1, len(labelled)):
+                ib, orig_b = labelled[b]
+                value = cov[orig_a] + cov[orig_b] - 2 * matrix[ia, ib]
+                candidates.append(
+                    CutCandidate(value=value, edges=(orig_a, orig_b))
+                )
+        return best_candidate(candidates)
+
+    # ------------------------------------------------------------------
+    def _split_at_centroid(self, tree: RootedTree, centroid: Node):
+        """Components of T - c plus everything both sub-solvers need."""
+        tree_graph = tree.to_graph()
+        tree_graph.remove_node(centroid)
+        components = [set(c) for c in nx.connected_components(tree_graph)]
+        anchors = {}  # component index -> the component node adjacent to c
+        for index, members in enumerate(components):
+            for neighbor in tree.children.get(centroid, []):
+                if neighbor in members:
+                    anchors[index] = neighbor
+            if centroid != tree.root and tree.parent[centroid] in members:
+                anchors[index] = tree.parent[centroid]
+        assert len(anchors) == len(components)
+        return components, anchors
+
+    def _build_between_instance(
+        self,
+        graph: nx.Graph,
+        tree: RootedTree,
+        cov: Mapping[Edge, float],
+        orig_of: Mapping[Edge, Edge],
+        virtual_nodes: frozenset,
+        centroid: Node,
+        components: list[set],
+        anchors: dict[int, Node],
+    ) -> SubtreeInstance:
+        """Subdivide the centroid's tree edges with virtual centroids c_i
+        and remap its graph edges onto the virtual root r* (exact for every
+        surviving pair; see DESIGN.md)."""
+        star_root = _fresh("between_root")
+        mids = {index: _fresh("centroid") for index in range(len(components))}
+
+        tree_edges = []
+        new_orig: dict[Edge, Edge] = {}
+        for index, members in enumerate(components):
+            anchor = anchors[index]
+            mid = mids[index]
+            tree_edges.append((star_root, mid))
+            tree_edges.append((mid, anchor))
+            new_orig[edge_key(mid, anchor)] = orig_of[edge_key(centroid, anchor)]
+            for node in members:
+                parent = tree.parent[node]
+                # Internal component edges: both endpoints in `members`
+                # (the centroid itself is in no component, so its incident
+                # tree edges are exactly the subdivided ones above).
+                if parent is not None and parent in members:
+                    edge = edge_key(node, parent)
+                    tree_edges.append((node, parent))
+                    new_orig[edge] = orig_of[edge]
+        new_tree = RootedTree.from_edges(tree_edges, root=star_root)
+
+        new_graph = nx.Graph()
+        new_graph.add_nodes_from(new_tree.order)
+        for u, v in new_tree.edges():
+            new_graph.add_edge(u, v, weight=0)
+        for u, v, data in graph.edges(data=True):
+            weight = data.get("weight", 1)
+            if weight == 0:
+                continue
+            nu = star_root if u == centroid else u
+            nv = star_root if v == centroid else v
+            _add_weight(new_graph, nu, nv, weight)
+
+        virtuals = (virtual_nodes & set(new_tree.order)) | {star_root} | set(
+            mids.values()
+        )
+        return SubtreeInstance(
+            graph=new_graph,
+            tree=new_tree,
+            orig_of=new_orig,
+            cov=cov,
+            virtual_nodes=frozenset(virtuals),
+        )
+
+    def _build_component_instance(
+        self,
+        graph: nx.Graph,
+        tree: RootedTree,
+        cov: Mapping[Edge, float],
+        orig_of: Mapping[Edge, Edge],
+        virtual_nodes: frozenset,
+        centroid: Node,
+        members: set,
+        anchor: Node,
+    ):
+        """Lemma 43: the private cut-equivalent graph H_i and its tree T'_i."""
+        mid = _fresh("split_centroid")
+        new_graph = nx.Graph()
+        new_graph.add_nodes_from(members)
+        new_graph.add_node(mid)
+        tree_edges = [(mid, anchor)]
+        new_orig: dict[Edge, Edge] = {
+            edge_key(mid, anchor): orig_of[edge_key(centroid, anchor)]
+        }
+        for node in members:
+            parent = tree.parent[node]
+            if parent is not None and parent in members:
+                edge = edge_key(node, parent)
+                tree_edges.append((node, parent))
+                new_orig[edge] = orig_of[edge]
+        for u, v in tree_edges:
+            new_graph.add_edge(u, v, weight=0)
+        for u, v, data in graph.edges(data=True):
+            weight = data.get("weight", 1)
+            if weight == 0:
+                continue
+            u_in, v_in = u in members, v in members
+            if u_in and v_in:
+                _add_weight(new_graph, u, v, weight)
+            elif u_in:
+                _add_weight(new_graph, u, mid, weight)
+            elif v_in:
+                _add_weight(new_graph, v, mid, weight)
+        new_tree = RootedTree.from_edges(tree_edges, root=mid)
+        virtuals = (virtual_nodes & members) | {mid}
+        return new_graph, new_tree, new_orig, frozenset(virtuals)
+
+    # ------------------------------------------------------------------
+    def _solve(
+        self,
+        graph: nx.Graph,
+        tree: RootedTree,
+        cov: Mapping[Edge, float],
+        orig_of: Mapping[Edge, Edge],
+        virtual_nodes: frozenset,
+        depth: int,
+    ) -> CutCandidate | None:
+        self.stats.instances += 1
+        self.stats.max_depth = max(self.stats.max_depth, depth)
+        self.stats.max_virtual_nodes = max(
+            self.stats.max_virtual_nodes, len(virtual_nodes)
+        )
+        if len(tree) - 1 <= BASE_CASE_EDGES:
+            return self._base_case(graph, tree, cov, orig_of)
+
+        centroid = find_centroid_centralized(tree)
+        self.acct.charge(self.acct.cost.centroid(len(tree)), "general:centroid")
+        components, anchors = self._split_at_centroid(tree, centroid)
+
+        results: list[CutCandidate | None] = []
+        with self.acct.virtual_overhead(1):
+            between = self._build_between_instance(
+                graph, tree, cov, orig_of, virtual_nodes,
+                centroid, components, anchors,
+            )
+            results.append(
+                solve_subtree_instance(between, self.acct, self.stats.subtree)
+            )
+
+        with self.acct.parallel() as par:
+            for index, members in enumerate(components):
+                sub = self._build_component_instance(
+                    graph, tree, cov, orig_of, virtual_nodes,
+                    centroid, members, anchors[index],
+                )
+                sub_graph, sub_tree, sub_orig, sub_virtual = sub
+                with par.branch():
+                    results.append(
+                        self._solve(
+                            sub_graph, sub_tree, cov, sub_orig,
+                            sub_virtual, depth + 1,
+                        )
+                    )
+        return best_candidate(results)
+
+    # ------------------------------------------------------------------
+    def solve(self, graph: nx.Graph, tree: RootedTree) -> TwoRespectingResult:
+        cov = one_respecting_cuts_fast(graph, tree, self.acct)
+        one_best = best_candidate(
+            CutCandidate(value=value, edges=(edge,)) for edge, value in cov.items()
+        )
+        identity = {edge: edge for edge in tree.edges()}
+        two_best = self._solve(
+            graph, tree, cov, identity, frozenset(), depth=0
+        )
+        overall = best_candidate([one_best, two_best])
+        return TwoRespectingResult(
+            best=overall,
+            one_respecting=one_best,
+            two_respecting=two_best,
+            ma_rounds=self.acct.total,
+            stats=self.stats,
+            accountant=self.acct,
+        )
+
+
+def two_respecting_min_cut(
+    graph: nx.Graph,
+    tree: nx.Graph | RootedTree,
+    root: Node | None = None,
+    accountant: RoundAccountant | None = None,
+) -> TwoRespectingResult:
+    """Theorem 40 entry point.
+
+    ``tree`` may be a networkx tree (a spanning tree of ``graph``) or an
+    already-rooted :class:`RootedTree`.  Returns the best 1-/2-respecting
+    cut with original tree-edge labels, the accumulated Minor-Aggregation
+    round charges, and the recursion statistics the paper's invariants are
+    asserted against.
+    """
+    if isinstance(tree, RootedTree):
+        rooted = tree
+    else:
+        if root is None:
+            root = min(tree.nodes(), key=lambda v: (type(v).__name__, str(v)))
+        rooted = RootedTree(tree, root)
+    solver = GeneralTwoRespectingSolver(accountant)
+    return solver.solve(graph, rooted)

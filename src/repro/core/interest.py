@@ -1,0 +1,202 @@
+"""Path interest: the structural engine behind star instances (Section 7.1-7.2).
+
+Path ``P_i`` is *strongly interested* in ``P_j`` when some edge ``e`` of
+``P_i`` has more than half of its cross-edge cover weight going to ``P_j``
+(Definition 29 with alpha = 1/2); the 2-respecting optimum can only live on
+mutually-interested pairs (Lemma 28), and each path is weakly interested in
+at most O(log n) others (Lemma 30).
+
+Interest lists are computed exactly as in Lemma 32: every node holds a
+Misra-Gries sketch of the cross edges at it, labelled by the *other* path's
+ID; a suffix merge along each path (a subtree sum, since paths hang off the
+star root) yields each edge's sketch; majority keys -- filtered with the
+sketch's tracked slack, so no strong interest is ever missed and everything
+reported is at least weakly interesting -- are unioned into the path's list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.accounting import RoundAccountant
+from repro.ma.operators import MisraGries
+
+#: Sketch capacity: with c = 10, the slack is <= W/11 per merge chain, so a
+#: detected key has true weight > W(1/2 - 2/11) > W/5 -- i.e. weak interest.
+SKETCH_CAPACITY = 10
+
+
+@dataclass
+class InterestResult:
+    #: interest list (set of path indices) per path index
+    lists: list[set[int]]
+    #: mutual-interest graph over path indices
+    graph: nx.Graph
+
+    @property
+    def max_degree(self) -> int:
+        if self.graph.number_of_edges() == 0:
+            return 0
+        return max(d for _n, d in self.graph.degree())
+
+
+def compute_interest_lists(
+    paths: list[list],
+    graph: nx.Graph,
+    accountant: RoundAccountant | None = None,
+) -> list[set[int]]:
+    """Interest list of every path (Lemma 32).
+
+    ``paths`` are node lists (top to bottom); ``graph`` supplies the
+    cross edges.  Charged as one batched subtree sum with the heavy-hitter
+    aggregation (all paths share the rounds, Corollary 11).
+    """
+    if accountant is not None:
+        size = sum(len(p) for p in paths) + 1
+        accountant.charge(
+            accountant.cost.subtree_sum(size) + 2, "star:interest-lists"
+        )
+    path_of: dict = {}
+    for index, path in enumerate(paths):
+        for node in path:
+            path_of[node] = index
+
+    sketches: dict = {}
+    for u, v, data in graph.edges(data=True):
+        weight = data.get("weight", 1)
+        if weight == 0:
+            continue
+        pu, pv = path_of.get(u), path_of.get(v)
+        if pu is None or pv is None or pu == pv:
+            continue
+        for node, label in ((u, pv), (v, pu)):
+            current = sketches.get(node, MisraGries.empty(SKETCH_CAPACITY))
+            sketches[node] = current.add(label, weight)
+
+    lists: list[set[int]] = []
+    for index, path in enumerate(paths):
+        found: set[int] = set()
+        acc = MisraGries.empty(SKETCH_CAPACITY)
+        # Suffix merge bottom-up: after folding position t, `acc` is the
+        # sketch of all cross edges covering path edge t+1.
+        for node in reversed(path):
+            node_sketch = sketches.get(node)
+            if node_sketch is not None:
+                acc = acc.merged(node_sketch)
+            total = acc.total
+            if total <= 0:
+                continue
+            for key, estimate in acc.counts.items():
+                # est + slack > W/2 catches every true strict majority; any
+                # catch has true weight > W/2 - 2*slack >= W(1/2 - 2/11).
+                if estimate + acc.decremented > total / 2:
+                    found.add(key)
+        found.discard(index)
+        lists.append(found)
+    return lists
+
+
+def compute_interest_lists_engine(
+    paths: list[list],
+    graph: nx.Graph,
+) -> tuple[list[set[int]], int]:
+    """Lemma 32, engine-genuine: the suffix merge runs as Minor-Aggregation
+    path suffix sums with the Misra-Gries sketch as the aggregation operator
+    (Example 8's "subtree sum + heavy-hitter aggregator" combination).
+
+    Returns (interest lists, executed engine rounds).  Produces the same
+    lists as :func:`compute_interest_lists`, which the tests assert; the
+    charged-cost solvers use the direct version, this one is the validation
+    artifact for the model claim.
+    """
+    from repro.ma.engine import MinorAggregationEngine
+    from repro.ma.operators import misra_gries_operator
+    from repro.trees.sums import path_suffix_sums
+
+    path_of: dict = {}
+    for index, path in enumerate(paths):
+        for node in path:
+            path_of[node] = index
+
+    sketches: dict = {}
+    for u, v, data in graph.edges(data=True):
+        weight = data.get("weight", 1)
+        if weight == 0:
+            continue
+        pu, pv = path_of.get(u), path_of.get(v)
+        if pu is None or pv is None or pu == pv:
+            continue
+        for node, label in ((u, pv), (v, pu)):
+            current = sketches.get(node, MisraGries.empty(SKETCH_CAPACITY))
+            sketches[node] = current.add(label, weight)
+
+    op = misra_gries_operator(SKETCH_CAPACITY)
+    engine = MinorAggregationEngine(graph)
+    values = {
+        node: sketches.get(node, MisraGries.empty(SKETCH_CAPACITY))
+        for path in paths
+        for node in path
+    }
+    suffix = path_suffix_sums(
+        engine, paths, values, op, label="interest:suffix-mg"
+    )
+
+    lists: list[set[int]] = []
+    for index, path in enumerate(paths):
+        found: set[int] = set()
+        for node in path:
+            sketch = suffix[node]
+            total = sketch.total
+            if total <= 0:
+                continue
+            for key, estimate in sketch.counts.items():
+                if estimate + sketch.decremented > total / 2:
+                    found.add(key)
+        found.discard(index)
+        lists.append(found)
+    return lists, engine.rounds_executed
+
+
+def build_interest_graph(lists: list[set[int]]) -> nx.Graph:
+    """Definition 33: edges between mutually-interested path pairs."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(len(lists)))
+    for i, interested in enumerate(lists):
+        for j in interested:
+            if i < j and i in lists[j]:
+                graph.add_edge(i, j)
+            elif j < i and i in lists[j]:
+                graph.add_edge(j, i)
+    return graph
+
+
+def greedy_edge_coloring(graph: nx.Graph) -> dict[tuple, int]:
+    """Proper edge coloring with at most ``2*Delta - 1`` colors.
+
+    Stands in for the Panconesi-Rizzi CONGEST algorithm (Lemma 35), which is
+    simulated on the interest graph with O(Delta) overhead (Lemma 34); only
+    properness and the Õ(1) color count matter downstream.
+    """
+    coloring: dict[tuple, int] = {}
+    used_at: dict = {node: set() for node in graph.nodes()}
+    for u, v in sorted(graph.edges(), key=lambda e: (str(e[0]), str(e[1]))):
+        forbidden = used_at[u] | used_at[v]
+        color = 0
+        while color in forbidden:
+            color += 1
+        coloring[(u, v)] = color
+        used_at[u].add(color)
+        used_at[v].add(color)
+    return coloring
+
+
+def interest_structure(
+    paths: list[list],
+    graph: nx.Graph,
+    accountant: RoundAccountant | None = None,
+) -> InterestResult:
+    """Interest lists + mutual-interest graph in one call."""
+    lists = compute_interest_lists(paths, graph, accountant)
+    return InterestResult(lists=lists, graph=build_interest_graph(lists))

@@ -1,0 +1,152 @@
+"""Star 2-respecting min-cut (paper Section 7, Theorem 27).
+
+A star instance is a root with k descending paths; the goal is the best
+``Cut(e, f)`` over pairs of edges on *different* paths.  The algorithm:
+
+1. compute every path's interest list (Lemma 32, heavy-hitter sketches);
+2. build the mutual-interest graph (max degree Õ(1) by Lemma 30);
+3. edge-color it with Õ(1) colors (Lemma 35 via Lemma 34);
+4. per color class, run the path-to-path solver (Theorem 19) on each matched
+   pair simultaneously -- the pairs are node-disjoint (Corollary 11) and
+   each gets a private virtual root (Lemma 15 / Theorem 14).
+
+By Lemma 28 any pair beating every 1-respecting cut lives on a
+mutually-interested pair of paths, so the color classes cover the optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import networkx as nx
+
+from repro.accounting import RoundAccountant
+from repro.core.cut_values import CutCandidate, best_candidate
+from repro.core.interest import greedy_edge_coloring, interest_structure
+from repro.core.path_to_path import PathInstance, PathToPathSolver
+from repro.trees.rooted import Edge, Node
+
+_star_counter = 0
+
+
+def _fresh_id(tag: str):
+    global _star_counter
+    _star_counter += 1
+    return (f"__{tag}__", _star_counter)
+
+
+@dataclass
+class StarPath:
+    """One descending path: ``orig[i - 1]`` labels path edge ``e_i``
+    (``e_1`` is the attachment edge hanging off the star root)."""
+
+    nodes: list[Node]
+    orig: list[Edge]
+
+    def __post_init__(self):
+        if len(self.nodes) != len(self.orig):
+            raise ValueError("orig must label every path edge")
+
+
+@dataclass
+class StarInstance:
+    graph: nx.Graph
+    root: Node
+    paths: list[StarPath]
+    cov: Mapping[Edge, float]
+    virtual_nodes: frozenset = frozenset()
+
+
+@dataclass
+class StarSolveStats:
+    pair_instances: int = 0
+    interest_list_sizes: list = field(default_factory=list)
+    interest_max_degree: int = 0
+    colors_used: int = 0
+
+
+def _build_pair_instance(
+    instance: StarInstance, i: int, j: int
+) -> PathInstance:
+    """Matched pair (P_i, P_j) with a private virtual root (Theorem 27)."""
+    path_i, path_j = instance.paths[i], instance.paths[j]
+    root = _fresh_id("pair_root")
+    graph = nx.Graph()
+    graph.add_node(root)
+    members_i = set(path_i.nodes)
+    members_j = set(path_j.nodes)
+    graph.add_nodes_from(members_i | members_j)
+    previous = root
+    for node in path_i.nodes:
+        graph.add_edge(previous, node, weight=0)
+        previous = node
+    previous = root
+    for node in path_j.nodes:
+        graph.add_edge(previous, node, weight=0)
+        previous = node
+    for u, v, data in instance.graph.edges(data=True):
+        weight = data.get("weight", 1)
+        if weight == 0:
+            continue
+        if (u in members_i and v in members_j) or (
+            u in members_j and v in members_i
+        ):
+            if graph.has_edge(u, v):
+                graph[u][v]["weight"] += weight
+            else:
+                graph.add_edge(u, v, weight=weight)
+    return PathInstance(
+        graph=graph,
+        root=root,
+        p_nodes=list(path_i.nodes),
+        q_nodes=list(path_j.nodes),
+        p_orig=list(path_i.orig),
+        q_orig=list(path_j.orig),
+        cov=instance.cov,
+        virtual_nodes=frozenset({root}),
+    )
+
+
+def solve_star(
+    instance: StarInstance,
+    accountant: RoundAccountant | None = None,
+    stats: StarSolveStats | None = None,
+) -> CutCandidate | None:
+    """Theorem 27: best 2-respecting pair across different star paths."""
+    acct = accountant or RoundAccountant()
+    stats = stats if stats is not None else StarSolveStats()
+    if len(instance.paths) < 2:
+        return None
+
+    with acct.virtual_overhead(len(instance.virtual_nodes)):
+        structure = interest_structure(
+            [p.nodes for p in instance.paths], instance.graph, acct
+        )
+        stats.interest_list_sizes.extend(len(s) for s in structure.lists)
+        stats.interest_max_degree = max(
+            stats.interest_max_degree, structure.max_degree
+        )
+        if structure.graph.number_of_edges() == 0:
+            return None
+        coloring = greedy_edge_coloring(structure.graph)
+        colors = sorted(set(coloring.values()))
+        stats.colors_used = max(stats.colors_used, len(colors))
+        acct.charge(
+            acct.cost.edge_coloring(
+                structure.max_degree, instance.graph.number_of_nodes()
+            ),
+            "star:edge-coloring",
+        )
+
+    results: list[CutCandidate | None] = []
+    for color in colors:
+        matched = [pair for pair, c in coloring.items() if c == color]
+        with acct.parallel() as par:
+            for i, j in matched:
+                with par.branch():
+                    stats.pair_instances += 1
+                    pair_instance = _build_pair_instance(instance, i, j)
+                    solver = PathToPathSolver(acct)
+                    results.append(solver.solve(pair_instance))
+    return best_candidate(results)

@@ -1,0 +1,220 @@
+"""Between-subtree 2-respecting min-cut (paper Section 8, Theorem 39).
+
+A subtree instance is a root with k subtrees hanging off it; the goal is the
+best ``Cut(e, f)`` with ``e`` and ``f`` in *different* subtrees.  Reduction
+to star instances, exactly as in the paper:
+
+1. a pairwise coloring of the k subtrees with ``ceil(log2 k)`` red/blue
+   assignments (Lemma 38, via subtree-index bits) -- every pair of subtrees
+   is split by some assignment;
+2. for each (assignment, d1, d2) with d1/d2 ranging over the HL-depths
+   present on the red/blue side, contract every subtree edge whose HL-depth
+   differs from its side's guess.  Because same-depth HL-paths are never
+   nested, the contraction leaves exactly a star of HL-paths hanging off the
+   blob containing the root (Figure 4), and contraction preserves the cut
+   values of all surviving pairs;
+3. solve each star with Theorem 27.
+
+If the optimal pair lives in subtrees i*, j* at HL-depths d1*, d2*, the
+iteration (splitting assignment, d1*, d2*) keeps both of its HL-paths, so
+the star solver sees it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import networkx as nx
+
+from repro.accounting import RoundAccountant, log2ceil
+from repro.core.cut_values import CutCandidate, best_candidate
+from repro.core.star import StarInstance, StarPath, StarSolveStats, solve_star
+from repro.trees.hld import HeavyLightDecomposition
+from repro.trees.rooted import Edge, Node, RootedTree, edge_key
+
+_star_root_counter = itertools.count()
+
+
+@dataclass
+class SubtreeInstance:
+    """Root + subtrees, with instance-tree edges labelled by original edges.
+
+    ``orig_of`` maps instance tree edges to original tree edges; edges
+    without a label (the virtual root edges) are never paired.
+    """
+
+    graph: nx.Graph
+    tree: RootedTree
+    orig_of: Mapping[Edge, Edge]
+    cov: Mapping[Edge, float]
+    virtual_nodes: frozenset = frozenset()
+
+
+@dataclass
+class SubtreeSolveStats:
+    colorings: int = 0
+    star_instances: int = 0
+    star: StarSolveStats = field(default_factory=StarSolveStats)
+
+
+def pairwise_coloring(k: int) -> list[list[bool]]:
+    """Lemma 38: assignments such that every index pair differs somewhere.
+
+    Returns ``ceil(log2 k)`` boolean vectors (``True`` = red); vector ``b``
+    colors index ``i`` by bit ``b`` of ``i``.
+    """
+    if k < 2:
+        return []
+    bits = log2ceil(k)
+    return [
+        [bool((index >> bit) & 1) for index in range(k)] for bit in range(bits)
+    ]
+
+
+def _subtree_rooted_trees(
+    instance: SubtreeInstance,
+) -> list[tuple[RootedTree, HeavyLightDecomposition]]:
+    """Per-subtree rooted trees (rooted at the root's children) + HLDs."""
+    tree = instance.tree
+    result = []
+    for top in tree.children[tree.root]:
+        nodes = tree.subtree_nodes(top)
+        edges = [
+            (node, tree.parent[node])
+            for node in nodes
+            if node != top
+        ]
+        sub = RootedTree.from_edges(edges, root=top)
+        result.append((sub, HeavyLightDecomposition(sub)))
+    return result
+
+
+def _build_star(
+    instance: SubtreeInstance,
+    subtrees: list[tuple[RootedTree, HeavyLightDecomposition]],
+    reds: list[bool],
+    d_red: int,
+    d_blue: int,
+) -> StarInstance | None:
+    """Contract everything except the guessed-depth HL-paths (Figure 4)."""
+    tree = instance.tree
+    star_root = ("__star_root__", next(_star_root_counter))
+
+    # Which instance tree edges survive the contraction.
+    kept_edges: set[Edge] = set()
+    paths: list[StarPath] = []
+    red_paths = blue_paths = 0
+    for index, (sub, hld) in enumerate(subtrees):
+        wanted = d_red if reds[index] else d_blue
+        for hl_path in hld.hl_paths():
+            if hl_path.depth != wanted:
+                continue
+            edges = hl_path.edges
+            if any(e not in instance.orig_of for e in edges):
+                continue  # paths touching unlabeled (virtual-root) edges
+            kept_edges.update(edges)
+            paths.append(
+                StarPath(
+                    nodes=list(hl_path.nodes),
+                    orig=[instance.orig_of[e] for e in edges],
+                )
+            )
+            if reds[index]:
+                red_paths += 1
+            else:
+                blue_paths += 1
+    if red_paths == 0 or blue_paths == 0 or len(paths) < 2:
+        return None
+
+    # Contraction map: a node survives iff its parent edge is kept.
+    rep: dict[Node, Node] = {tree.root: star_root}
+    for node in tree.order[1:]:
+        parent = tree.parent[node]
+        if edge_key(node, parent) in kept_edges:
+            rep[node] = node
+        else:
+            rep[node] = rep[parent]
+
+    graph = nx.Graph()
+    graph.add_node(star_root)
+    for path in paths:
+        graph.add_nodes_from(path.nodes)
+        previous = star_root
+        for node in path.nodes:
+            if not graph.has_edge(previous, node):
+                graph.add_edge(previous, node, weight=0)
+            previous = node
+    for u, v, data in instance.graph.edges(data=True):
+        weight = data.get("weight", 1)
+        if weight == 0:
+            continue
+        ru, rv = rep[u], rep[v]
+        if ru == rv:
+            continue
+        if graph.has_edge(ru, rv):
+            graph[ru][rv]["weight"] += weight
+        else:
+            graph.add_edge(ru, rv, weight=weight)
+
+    survivors = {node for path in paths for node in path.nodes}
+    virtuals = (instance.virtual_nodes & survivors) | {star_root}
+    return StarInstance(
+        graph=graph,
+        root=star_root,
+        paths=paths,
+        cov=instance.cov,
+        virtual_nodes=frozenset(virtuals),
+    )
+
+
+def solve_subtree_instance(
+    instance: SubtreeInstance,
+    accountant: RoundAccountant | None = None,
+    stats: SubtreeSolveStats | None = None,
+) -> CutCandidate | None:
+    """Theorem 39: best pair across different subtrees of the root."""
+    acct = accountant or RoundAccountant()
+    stats = stats if stats is not None else SubtreeSolveStats()
+    tree = instance.tree
+    k = len(tree.children[tree.root])
+    if k < 2:
+        return None
+
+    subtrees = _subtree_rooted_trees(instance)
+    acct.charge(acct.cost.hld(len(tree)), "subtree:hld")
+    assignments = pairwise_coloring(k)
+    stats.colorings = len(assignments)
+
+    results: list[CutCandidate | None] = []
+    for reds in assignments:
+        if not any(reds) or all(reds):
+            continue
+        depths_red = sorted(
+            {
+                hld.edge_hl_depth(edge)
+                for index, (sub, hld) in enumerate(subtrees)
+                if reds[index]
+                for edge in sub.edges()
+            }
+            | {0 for index in range(k) if reds[index]}
+        )
+        depths_blue = sorted(
+            {
+                hld.edge_hl_depth(edge)
+                for index, (sub, hld) in enumerate(subtrees)
+                if not reds[index]
+                for edge in sub.edges()
+            }
+            | {0 for index in range(k) if not reds[index]}
+        )
+        for d_red in depths_red:
+            for d_blue in depths_blue:
+                acct.charge(2, "subtree:contract")
+                star = _build_star(instance, subtrees, reds, d_red, d_blue)
+                if star is None:
+                    continue
+                stats.star_instances += 1
+                results.append(solve_star(star, acct, stats.star))
+    return best_candidate(results)

@@ -1,0 +1,33 @@
+"""Experiment harness: one module per reproduced claim (see DESIGN.md E1-E13).
+
+Each ``eNN_*`` module exposes ``run(quick: bool = True) -> ExperimentResult``
+returning the measured rows plus the paper-claim / observed summary that
+EXPERIMENTS.md records.  The pytest-benchmark targets in ``benchmarks/``
+wrap these same functions, so the numbers in the report and the numbers in
+the bench output come from identical code paths.
+
+Run everything:  ``python -m repro.experiments``  (add ``--full`` for the
+larger sweeps used to produce EXPERIMENTS.md).
+"""
+
+from repro.experiments.common import ExperimentResult, format_table
+
+__all__ = ["ExperimentResult", "format_table", "ALL_EXPERIMENTS"]
+
+ALL_EXPERIMENTS = [
+    "e01_general",
+    "e02_planar",
+    "e03_tree_packing",
+    "e04_one_respecting",
+    "e05_path_to_path",
+    "e06_star_interest",
+    "e07_between_subtree",
+    "e08_general_two_respecting",
+    "e09_virtual_overhead",
+    "e10_primitives",
+    "e11_baselines",
+    "e12_shortcut_quality",
+    "e13_boruvka",
+    "e14_congest_compilation",
+    "e15_hld_construction",
+]

@@ -1,0 +1,42 @@
+"""Run every experiment and print the paper-vs-measured report.
+
+Usage:
+    python -m repro.experiments            # quick mode (minutes)
+    python -m repro.experiments --full     # the EXPERIMENTS.md sweeps
+    python -m repro.experiments e05 e08    # a subset
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str]) -> int:
+    full = "--full" in argv
+    wanted = [a for a in argv if not a.startswith("-")]
+    selected = [
+        name
+        for name in ALL_EXPERIMENTS
+        if not wanted or any(name.startswith(w) for w in wanted)
+    ]
+    failures = 0
+    for name in selected:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        start = time.time()
+        result = module.run(quick=not full)
+        elapsed = time.time() - start
+        print(result.summary())
+        print(f"   ({elapsed:.1f}s)\n")
+        failures += 0 if result.holds else 1
+    print(
+        f"{len(selected) - failures}/{len(selected)} experiments reproduced"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

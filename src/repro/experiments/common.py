@@ -1,0 +1,68 @@
+"""Shared structure for experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced claim: its identity, the measurement, the verdict."""
+
+    experiment: str
+    paper_claim: str
+    rows: list[dict] = field(default_factory=list)
+    observed: str = ""
+    holds: bool = True
+
+    def summary(self) -> str:
+        status = "REPRODUCED" if self.holds else "DEVIATION"
+        lines = [
+            f"== {self.experiment} [{status}]",
+            f"   claim   : {self.paper_claim}",
+            f"   observed: {self.observed}",
+        ]
+        if self.rows:
+            lines.append(format_table(self.rows, indent="   "))
+        return "\n".join(lines)
+
+
+def format_table(rows: list[dict], indent: str = "") -> str:
+    """Fixed-width text table from a list of uniform dicts."""
+    if not rows:
+        return indent + "(no rows)"
+    columns = list(rows[0])
+    rendered = [
+        {col: _fmt(row.get(col)) for col in columns} for row in rows
+    ]
+    widths = {
+        col: max(len(col), *(len(r[col]) for r in rendered)) for col in columns
+    }
+    header = " | ".join(col.ljust(widths[col]) for col in columns)
+    rule = "-+-".join("-" * widths[col] for col in columns)
+    body = [
+        " | ".join(r[col].ljust(widths[col]) for col in columns)
+        for r in rendered
+    ]
+    return "\n".join(indent + line for line in [header, rule, *body])
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return f"{int(value):,}"
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def growth_ratio(series: list[float]) -> float:
+    """Last/first ratio of a positive series (the 'shape' summary)."""
+    if not series or series[0] <= 0:
+        return float("inf")
+    return series[-1] / series[0]

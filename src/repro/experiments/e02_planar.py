@@ -1,0 +1,105 @@
+"""E2 -- Theorem 1, bullet 1: Õ(D) rounds on excluded-minor (planar) graphs.
+
+Claim: on planar networks the same algorithm compiles down to Õ(D) CONGEST
+rounds, beating the general Õ(D + sqrt(n)) bound whenever D << sqrt(n).
+Measured on two planar families that bracket the claim:
+
+* Delaunay triangulations have D ~ sqrt(n), so there the two bounds are
+  within polylog of each other (no win expected -- and none is claimed);
+* wheel-like hub networks have D = 2, so sqrt(n)/D grows unboundedly and
+  the excluded-minor simulation must win by a factor growing with n.
+
+Exactness is checked on every instance.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import networkx as nx
+
+import repro
+from repro.baselines import stoer_wagner_min_cut
+from repro.experiments.common import ExperimentResult
+from repro.graphs import assign_random_weights, delaunay_planar_graph
+
+
+def wheel_network(n: int, seed: int) -> nx.Graph:
+    """Planar hub-and-spoke topology with diameter 2."""
+    graph = nx.wheel_graph(n)
+    return assign_random_weights(graph, random.Random(seed), high=50)
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    delaunay_sizes = [40, 80, 160] if quick else [40, 80, 160, 320, 640]
+    wheel_sizes = [64, 256, 1024] if quick else [64, 256, 1024, 4096, 16384]
+    rows = []
+    all_exact = True
+
+    for n in delaunay_sizes:
+        graph = delaunay_planar_graph(n, seed=17, weight_high=50)
+        result = repro.minimum_cut(graph, seed=17, solver="oracle", num_trees=6)
+        expected, _ = stoer_wagner_min_cut(graph)
+        exact = abs(result.value - expected) < 1e-9
+        all_exact &= exact
+        est = result.congest
+        rows.append(
+            {
+                "family": "delaunay",
+                "n": n,
+                "D": est.diameter,
+                "sqrt_n": round(math.sqrt(n), 1),
+                "exact": exact,
+                "congest_general": round(est.general),
+                "congest_planar": round(est.excluded_minor),
+                "general/planar": round(est.general / est.excluded_minor, 2),
+            }
+        )
+
+    wheel_speedups = []
+    for n in wheel_sizes:
+        # Exactness is checked on the sizes where the oracle is feasible;
+        # the cost comparison itself is purely topological.
+        if n <= 256:
+            graph = wheel_network(n, seed=3)
+            result = repro.minimum_cut(graph, seed=3, solver="oracle", num_trees=6)
+            expected, _ = stoer_wagner_min_cut(graph)
+            exact = abs(result.value - expected) < 1e-9
+            all_exact &= exact
+            ma_rounds = max(result.ma_rounds, 1.0)
+        else:
+            exact = None
+            ma_rounds = 1.0
+        est = repro.congest_estimates(ma_rounds, n=n, diameter=2)
+        speedup = est.general / est.excluded_minor
+        wheel_speedups.append(speedup)
+        rows.append(
+            {
+                "family": "wheel (D=2)",
+                "n": n,
+                "D": 2,
+                "sqrt_n": round(math.sqrt(n), 1),
+                "exact": exact,
+                "congest_general": round(est.general),
+                "congest_planar": round(est.excluded_minor),
+                "general/planar": round(speedup, 2),
+            }
+        )
+
+    wheel_wins = wheel_speedups[-1] > 1.0
+    wheel_grows = all(
+        b >= a for a, b in zip(wheel_speedups, wheel_speedups[1:])
+    )
+    return ExperimentResult(
+        experiment="E2 planar speedup (Thm 1 bullet 1)",
+        paper_claim="excluded-minor graphs: Õ(D) rounds vs Õ(D+sqrt(n)) general",
+        rows=rows,
+        observed=(
+            f"exact on all checked sizes={all_exact}; D=2 planar family: "
+            f"general/planar grows {wheel_speedups[0]:.2f} -> "
+            f"{wheel_speedups[-1]:.2f} (wins and widens={wheel_wins and wheel_grows}); "
+            f"on Delaunay (D ~ sqrt n) both bounds are within polylog, as expected"
+        ),
+        holds=all_exact and wheel_wins and wheel_grows,
+    )

@@ -1,0 +1,55 @@
+"""E4 -- Theorem 18: 1-respecting min-cut, engine-genuine.
+
+Claim: all 1-respecting cut values of (G, T) in Õ(1) deterministic
+Minor-Aggregation rounds.  Measured: *executed* engine rounds across an
+n-sweep (not charged formulas -- the algorithm really runs through the
+engine) and exactness against brute-force cover values.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.cut_values import cover_values
+from repro.core.one_respecting import one_respecting_cuts
+from repro.experiments.common import ExperimentResult, growth_ratio
+from repro.graphs import random_connected_gnm, random_spanning_tree
+from repro.ma.engine import MinorAggregationEngine
+from repro.trees.rooted import RootedTree
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    sizes = [30, 60, 120] if quick else [30, 60, 120, 240, 480]
+    rows = []
+    rounds_series = []
+    all_exact = True
+    for n in sizes:
+        graph = random_connected_gnm(n, int(2.5 * n), seed=n + 5)
+        tree = RootedTree(random_spanning_tree(graph, seed=n), 0)
+        engine = MinorAggregationEngine(graph)
+        values = one_respecting_cuts(graph, tree, engine=engine)
+        reference = cover_values(graph, tree)
+        exact = all(abs(values[e] - reference[e]) < 1e-9 for e in reference)
+        all_exact &= exact
+        rounds_series.append(engine.rounds_executed)
+        rows.append(
+            {
+                "n": n,
+                "engine_rounds": engine.rounds_executed,
+                "log2^2_budget": round(4 * (math.log2(n) + 1) ** 2),
+                "exact": exact,
+            }
+        )
+    ratio = growth_ratio([float(r) for r in rounds_series])
+    n_ratio = sizes[-1] / sizes[0]
+    budget_ok = all(r["engine_rounds"] <= r["log2^2_budget"] for r in rows)
+    return ExperimentResult(
+        experiment="E4 one-respecting cuts (Thm 18)",
+        paper_claim="Õ(1) MA rounds, deterministic, exact for every tree edge",
+        rows=rows,
+        observed=(
+            f"exact={all_exact}; measured rounds grew x{ratio:.2f} while n "
+            f"grew x{n_ratio:.1f}; within O(log^2 n) budget={budget_ok}"
+        ),
+        holds=all_exact and budget_ok and ratio < n_ratio,
+    )

@@ -1,0 +1,70 @@
+"""E9 -- Theorem 14 / Lemma 15: virtual-node simulation overhead.
+
+Claim: a tau-round Minor-Aggregation algorithm on a graph extended by beta
+arbitrarily-connected virtual nodes simulates on the real graph in
+tau * O(beta + 1) rounds.  Measured: run the same engine workload on
+extensions with growing beta and confirm the charged cost is exactly linear
+in beta + 1; also verify Lemma 15 node replacement preserves the topology's
+aggregation behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.accounting import RoundAccountant
+from repro.experiments.common import ExperimentResult
+from repro.graphs import random_connected_gnm
+from repro.ma.engine import MinorAggregationEngine
+from repro.ma.operators import SUM
+from repro.ma.virtual import VirtualGraph
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    betas = [0, 1, 2, 4, 8] if quick else [0, 1, 2, 4, 8, 16, 32]
+    base = random_connected_gnm(30, 70, seed=3)
+    tau = 5
+    rows = []
+    linear = True
+    for beta in betas:
+        vg = VirtualGraph(base)
+        for index in range(beta):
+            virt = vg.add_virtual_node()
+            vg.add_virtual_edge(virt, index % 30, weight=1)
+            if index:
+                # Arbitrary virtual-virtual edges are allowed too.
+                other = sorted(vg.virtual_nodes)[0]
+                if other != virt:
+                    vg.add_virtual_edge(virt, other, weight=1)
+        acct = RoundAccountant()
+        engine = MinorAggregationEngine(vg.graph, accountant=acct)
+        with acct.virtual_overhead(vg.beta):
+            for _ in range(tau):
+                engine.broadcast({v: 1 for v in vg.graph.nodes()}, SUM)
+        expected = tau * (beta + 1)
+        linear &= acct.total == expected
+        rows.append(
+            {
+                "beta": beta,
+                "tau (virtual rounds)": tau,
+                "charged_real_rounds": round(acct.total),
+                "theorem14_bound": expected,
+                "matches": acct.total == expected,
+            }
+        )
+
+    # Lemma 15: replacing a node by a virtual substitute preserves global
+    # aggregates computed over the graph.
+    vg2, virt = VirtualGraph.replace_node_with_virtual(base, 7)
+    engine2 = MinorAggregationEngine(vg2.graph)
+    total = engine2.broadcast({v: 1 for v in vg2.graph.nodes()}, SUM)
+    replacement_ok = total == base.number_of_nodes() and vg2.beta == 1
+
+    return ExperimentResult(
+        experiment="E9 virtual-node overhead (Thm 14, Lem 15)",
+        paper_claim="beta virtual nodes cost a multiplicative O(beta+1)",
+        rows=rows,
+        observed=(
+            f"charged cost exactly tau*(beta+1) for all beta={linear}; "
+            f"Lemma 15 replacement preserves aggregates={replacement_ok}"
+        ),
+        holds=linear and replacement_ok,
+    )

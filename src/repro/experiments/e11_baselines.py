@@ -1,0 +1,74 @@
+"""E11 -- Section 1 state of the art: who wins, and where.
+
+Claim: the naive distributed strategy (ship the graph to a leader) pays
+Θ(m + D) measured rounds, while the paper's algorithm pays Õ(D + sqrt(n))
+-- so the paper wins on every graph denser than a tree, by a factor that
+grows with density; prior unweighted-only bounds ([GNT20]: Õ(n^0.8 D^0.2 +
+n^0.9)) sit in between.  Measured: real round counts for the naive baseline
+vs the Theorem 17 estimate, plus the analytic prior-work curves.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+import repro
+from repro.baselines import naive_congest_min_cut
+from repro.experiments.common import ExperimentResult
+from repro.graphs import random_connected_gnm
+
+
+def gnt20_bound(n: int, diameter: int) -> float:
+    """[GNT20] unweighted exact min-cut: Õ(n^0.8 D^0.2 + n^0.9)."""
+    return (n ** 0.8) * (diameter ** 0.2) + n ** 0.9
+
+
+def daga19_bound(n: int, diameter: int) -> float:
+    """[Daga+19]: Õ(n^(1-1/353) D^(1/353) + n^(1-1/706))."""
+    return n ** (1 - 1 / 353) * diameter ** (1 / 353) + n ** (1 - 1 / 706)
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    n = 24 if quick else 40
+    densities = [1.2, 2.5, 5.0] if quick else [1.2, 2.5, 5.0, 8.0]
+    rows = []
+    paper_wins_dense = None
+    for density in densities:
+        m = int(n * density)
+        graph = random_connected_gnm(n, m, seed=int(density * 10))
+        diameter = nx.diameter(graph)
+        naive = naive_congest_min_cut(graph)
+        result = repro.minimum_cut(graph, seed=1, solver="oracle", num_trees=6)
+        est = result.congest
+        rows.append(
+            {
+                "m/n": density,
+                "m": graph.number_of_edges(),
+                "D": diameter,
+                "naive_measured": naive["rounds"],
+                "paper_Õ(D+sqrt n)": round(est.general),
+                "GNT20_unweighted": round(gnt20_bound(n, diameter)),
+                "Daga19_unweighted": round(daga19_bound(n, diameter)),
+                "values_agree": abs(naive["value"] - result.value) < 1e-9,
+            }
+        )
+        paper_wins_dense = est.general  # last row used below
+
+    # The shape statement: the naive cost grows linearly with m at fixed n,
+    # while the paper's bound depends on m not at all (only D and n).
+    naive_growth = rows[-1]["naive_measured"] / max(1, rows[0]["naive_measured"])
+    paper_growth = rows[-1]["paper_Õ(D+sqrt n)"] / max(1, rows[0]["paper_Õ(D+sqrt n)"])
+    values_ok = all(row["values_agree"] for row in rows)
+    return ExperimentResult(
+        experiment="E11 baseline comparison (Sec 1 state of the art)",
+        paper_claim="naive pays Θ(m+D); the paper's bound is m-independent",
+        rows=rows,
+        observed=(
+            f"naive rounds grew x{naive_growth:.2f} across the density sweep "
+            f"while the paper's estimate changed x{paper_growth:.2f}; "
+            f"all values exact={values_ok}"
+        ),
+        holds=values_ok and naive_growth > paper_growth,
+    )

@@ -1,0 +1,65 @@
+"""E12 -- Section 1 detour: shortcut quality across graph families.
+
+Claim: general graphs admit shortcuts of quality O(D + sqrt(n)) and planar
+graphs of quality Õ(D) -- the entire universal-optimality story rides on
+this separation.  Measured: the greedy constructor's achieved quality on
+random connected partitions of planar grids vs random graphs vs cycles.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+from repro.experiments.common import ExperimentResult
+from repro.graphs import cycle_graph, grid_graph, random_connected_gnm
+from repro.shortcuts import greedy_shortcuts, random_connected_partition
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    side = 7 if quick else 10
+    n = side * side
+    cases = [
+        ("planar grid", grid_graph(side, side, seed=1)),
+        ("random gnm", random_connected_gnm(n, 3 * n, seed=1)),
+        ("cycle", cycle_graph(n, seed=1)),
+    ]
+    rows = []
+    all_within = True
+    for name, graph in cases:
+        diameter = nx.diameter(graph)
+        qualities = []
+        for seed in range(3):
+            parts = random_connected_partition(graph, max(2, n // 6), seed=seed)
+            qualities.append(greedy_shortcuts(graph, parts).quality)
+        quality = max(qualities)
+        general_bound = (diameter + math.sqrt(n)) * math.log2(n)
+        within = quality <= general_bound
+        all_within &= within
+        rows.append(
+            {
+                "family": name,
+                "n": n,
+                "D": diameter,
+                "measured_quality": quality,
+                "D+sqrt(n)": round(diameter + math.sqrt(n), 1),
+                "within_Õ(D+sqrt n)": within,
+                "quality/D": round(quality / diameter, 2),
+            }
+        )
+    # The planar separation: measured quality stays within polylog of D.
+    planar_row = rows[0]
+    planar_ok = planar_row["measured_quality"] <= planar_row["D"] * (
+        math.log2(n) ** 2
+    )
+    return ExperimentResult(
+        experiment="E12 shortcut quality (Sec 1 detour)",
+        paper_claim="general: SQ = O(D+sqrt n); planar: SQ = Õ(D)",
+        rows=rows,
+        observed=(
+            f"all families within the general bound={all_within}; planar "
+            f"quality within Õ(D)={planar_ok}"
+        ),
+        holds=all_within and planar_ok,
+    )

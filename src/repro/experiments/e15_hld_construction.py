@@ -1,0 +1,67 @@
+"""E15 -- Lemma 47: deterministic merge-based HLD construction.
+
+Claim: O(log n) star-merge iterations build the heavy-light decomposition
+(each iteration retires >= 1/3 of the non-root parts, by Lemma 44's joiner
+fraction), for a total of Õ(1) Minor-Aggregation rounds.  Measured: the
+iteration counts and part-count decay across an n-sweep, plus fidelity
+(the constructed labels equal the direct decomposition's).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import networkx as nx
+
+from repro.experiments.common import ExperimentResult
+from repro.trees.hld import HeavyLightDecomposition
+from repro.trees.hld_construction import build_hld_distributed
+from repro.trees.rooted import RootedTree
+
+
+def _random_tree(n: int, seed: int) -> RootedTree:
+    rng = random.Random(seed)
+    graph = nx.Graph()
+    graph.add_node(0)
+    for v in range(1, n):
+        graph.add_edge(v, rng.randrange(v))
+    return RootedTree(graph, 0)
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    sizes = [64, 256, 1024] if quick else [64, 256, 1024, 4096]
+    rows = []
+    all_ok = True
+    for n in sizes:
+        tree = _random_tree(n, seed=n)
+        result = build_hld_distributed(tree)
+        direct = HeavyLightDecomposition(tree)
+        faithful = (
+            result.hld.hl_depth == direct.hl_depth
+            and result.hld.heavy_child == direct.heavy_child
+        )
+        bound = 4 * math.ceil(math.log2(n)) + 2
+        decay_ok = all(
+            after <= before - (before - 1) / 3 + 1e-9
+            for before, after in zip(result.part_counts, result.part_counts[1:])
+        )
+        ok = faithful and result.iterations <= bound and decay_ok
+        all_ok &= ok
+        rows.append(
+            {
+                "n": n,
+                "iterations": result.iterations,
+                "O(log n)_bound": bound,
+                "1/3_decay": decay_ok,
+                "ma_rounds": round(result.ma_rounds),
+                "faithful": faithful,
+            }
+        )
+    return ExperimentResult(
+        experiment="E15 merge-based HLD construction (Lem 47)",
+        paper_claim="O(log n) star-merge iterations; >=1/3 parts retire each",
+        rows=rows,
+        observed=f"all sizes faithful and within bounds={all_ok}",
+        holds=all_ok,
+    )

@@ -1,0 +1,34 @@
+"""Workload generators: the weighted graph families used across the paper.
+
+Every generator returns a connected, weighted :class:`networkx.Graph` whose
+edges carry an integer ``weight`` attribute in ``[1, poly(n)]`` (the paper's
+weight model, Section 3 "Graphs").
+"""
+
+from repro.graphs.generators import (
+    assign_random_weights,
+    barbell_graph,
+    cycle_graph,
+    delaunay_planar_graph,
+    expander_graph,
+    grid_graph,
+    planted_cut_graph,
+    random_connected_gnm,
+    random_spanning_tree,
+    tree_plus_chords,
+    triangulated_grid_graph,
+)
+
+__all__ = [
+    "assign_random_weights",
+    "barbell_graph",
+    "cycle_graph",
+    "delaunay_planar_graph",
+    "expander_graph",
+    "grid_graph",
+    "planted_cut_graph",
+    "random_connected_gnm",
+    "random_spanning_tree",
+    "tree_plus_chords",
+    "triangulated_grid_graph",
+]

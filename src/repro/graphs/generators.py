@@ -1,0 +1,219 @@
+"""Weighted graph families for tests, examples, and benchmarks.
+
+The paper's model assumes a connected undirected graph with polynomially
+bounded integer edge weights.  The families here cover the regimes the paper
+discusses: general graphs (existential Õ(D + sqrt(n)) bound), planar /
+excluded-minor graphs (Õ(D) bound), expanders (small mixing time), and
+high-diameter graphs (cycles, barbells) where the trivial Ω(D) lower bound
+dominates.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+
+def assign_random_weights(
+    graph: nx.Graph,
+    rng: random.Random,
+    low: int = 1,
+    high: int | None = None,
+) -> nx.Graph:
+    """Assign integer weights uniformly from ``[low, high]`` in place.
+
+    ``high`` defaults to ``n**2`` which keeps weights in ``poly(n)`` as the
+    paper requires.
+    """
+    if high is None:
+        high = max(low, len(graph) ** 2)
+    for u, v in graph.edges():
+        graph[u][v]["weight"] = rng.randint(low, high)
+    return graph
+
+
+def _relabel_consecutive(graph: nx.Graph) -> nx.Graph:
+    return nx.convert_node_labels_to_integers(graph, ordering="sorted")
+
+
+def random_connected_gnm(
+    n: int,
+    m: int,
+    seed: int = 0,
+    weight_high: int | None = None,
+) -> nx.Graph:
+    """Connected G(n, m): a random spanning tree plus random extra edges."""
+    if n < 2:
+        raise ValueError("need at least 2 nodes")
+    max_edges = n * (n - 1) // 2
+    m = min(max(m, n - 1), max_edges)
+    rng = random.Random(seed)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    nodes = list(range(n))
+    rng.shuffle(nodes)
+    for i in range(1, n):
+        graph.add_edge(nodes[i], nodes[rng.randrange(i)])
+    while graph.number_of_edges() < m:
+        u, v = rng.sample(range(n), 2)
+        graph.add_edge(u, v)
+    return assign_random_weights(graph, rng, high=weight_high)
+
+
+def random_spanning_tree(graph: nx.Graph, seed: int = 0) -> nx.Graph:
+    """A uniform-ish random spanning tree (random-weight Kruskal)."""
+    rng = random.Random(seed)
+    order = sorted(graph.edges())
+    rng.shuffle(order)
+    tree = nx.Graph()
+    tree.add_nodes_from(graph.nodes())
+    uf = nx.utils.UnionFind(graph.nodes())
+    for u, v in order:
+        if uf[u] != uf[v]:
+            uf.union(u, v)
+            tree.add_edge(u, v, weight=graph[u][v].get("weight", 1))
+    return tree
+
+
+def cycle_graph(n: int, seed: int = 0, weight_high: int | None = None) -> nx.Graph:
+    """Weighted n-cycle: diameter Θ(n), the paper's Ω(n) worst-case example."""
+    rng = random.Random(seed)
+    graph = nx.cycle_graph(n)
+    return assign_random_weights(graph, rng, high=weight_high)
+
+
+def grid_graph(rows: int, cols: int, seed: int = 0, weight_high: int | None = None) -> nx.Graph:
+    """Planar grid: the canonical excluded-minor family."""
+    rng = random.Random(seed)
+    graph = _relabel_consecutive(nx.grid_2d_graph(rows, cols))
+    return assign_random_weights(graph, rng, high=weight_high)
+
+
+def triangulated_grid_graph(
+    rows: int, cols: int, seed: int = 0, weight_high: int | None = None
+) -> nx.Graph:
+    """Grid with one diagonal per cell: planar with higher connectivity."""
+    rng = random.Random(seed)
+    base = nx.grid_2d_graph(rows, cols)
+    for r in range(rows - 1):
+        for c in range(cols - 1):
+            base.add_edge((r, c), (r + 1, c + 1))
+    graph = _relabel_consecutive(base)
+    return assign_random_weights(graph, rng, high=weight_high)
+
+
+def delaunay_planar_graph(n: int, seed: int = 0, weight_high: int | None = None) -> nx.Graph:
+    """Random planar graph from a Delaunay triangulation of random points.
+
+    Falls back to a triangulated grid when scipy is unavailable.
+    """
+    rng = random.Random(seed)
+    try:
+        import numpy as np
+        from scipy.spatial import Delaunay
+    except ImportError:  # pragma: no cover - scipy is installed in CI
+        side = max(2, int(n ** 0.5))
+        return triangulated_grid_graph(side, side, seed=seed, weight_high=weight_high)
+    points = np.array([[rng.random(), rng.random()] for _ in range(n)])
+    tri = Delaunay(points)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for simplex in tri.simplices:
+        a, b, c = (int(x) for x in simplex)
+        graph.add_edge(a, b)
+        graph.add_edge(b, c)
+        graph.add_edge(a, c)
+    return assign_random_weights(graph, rng, high=weight_high)
+
+
+def expander_graph(n: int, degree: int = 4, seed: int = 0, weight_high: int | None = None) -> nx.Graph:
+    """Random d-regular graph: small mixing time, Theorem 1's third bullet."""
+    rng = random.Random(seed)
+    if (n * degree) % 2:
+        n += 1
+    for attempt in range(50):
+        graph = nx.random_regular_graph(degree, n, seed=seed + attempt)
+        if nx.is_connected(graph):
+            return assign_random_weights(graph, rng, high=weight_high)
+    raise RuntimeError("failed to sample a connected regular graph")
+
+
+def barbell_graph(clique: int, path: int, seed: int = 0, weight_high: int | None = None) -> nx.Graph:
+    """Two cliques joined by a long path: diameter Θ(path), min cut on the path."""
+    rng = random.Random(seed)
+    graph = _relabel_consecutive(nx.barbell_graph(clique, path))
+    return assign_random_weights(graph, rng, high=weight_high)
+
+
+def tree_plus_chords(n: int, chords: int, seed: int = 0, weight_high: int | None = None) -> nx.Graph:
+    """Random tree with a few extra chord edges: sparse, tree-like instances."""
+    rng = random.Random(seed)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for v in range(1, n):
+        graph.add_edge(v, rng.randrange(v))
+    added = 0
+    while added < chords:
+        u, v = rng.sample(range(n), 2)
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            added += 1
+    return assign_random_weights(graph, rng, high=weight_high)
+
+
+def planted_cut_graph(
+    n_left: int,
+    n_right: int,
+    cross_edges: int = 3,
+    cross_weight: int = 1,
+    inside_weight: int = 100,
+    seed: int = 0,
+) -> nx.Graph:
+    """Two dense clusters joined by a few light edges.
+
+    The minimum cut is the planted one with value
+    ``cross_edges * cross_weight`` (the generator asserts every node keeps an
+    inside-degree heavy enough that no single-node cut undercuts it), which
+    gives tests a graph whose exact min-cut is known by construction.
+    """
+    rng = random.Random(seed)
+    graph = nx.Graph()
+    left = list(range(n_left))
+    right = list(range(n_left, n_left + n_right))
+    graph.add_nodes_from(left + right)
+
+    def _dense_cluster(nodes: list[int]) -> None:
+        for i in range(1, len(nodes)):
+            graph.add_edge(nodes[i], nodes[rng.randrange(i)], weight=inside_weight)
+        extra = len(nodes)
+        for _ in range(extra):
+            u, v = rng.sample(nodes, 2)
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v, weight=inside_weight)
+
+    _dense_cluster(left)
+    _dense_cluster(right)
+    for _ in range(cross_edges):
+        graph.add_edge(rng.choice(left), rng.choice(right), weight=cross_weight)
+    planted_value = sum(
+        d["weight"] for u, v, d in graph.edges(data=True)
+        if (u < n_left) != (v < n_left)
+    )
+    # Guard: every single-node cut must exceed the planted cut.
+    for node in graph.nodes():
+        degree_weight = sum(d["weight"] for _, _, d in graph.edges(node, data=True))
+        if degree_weight <= planted_value:
+            # Thicken this node's inside connectivity.
+            side = left if node in left else right
+            others = [x for x in side if x != node]
+            while degree_weight <= planted_value and others:
+                peer = rng.choice(others)
+                if graph.has_edge(node, peer):
+                    graph[node][peer]["weight"] += inside_weight
+                else:
+                    graph.add_edge(node, peer, weight=inside_weight)
+                degree_weight += inside_weight
+    graph.graph["planted_cut_value"] = planted_value
+    graph.graph["planted_partition"] = (frozenset(left), frozenset(right))
+    return graph

@@ -1,0 +1,218 @@
+"""The Minor-Aggregation engine (paper Definition 9).
+
+One round consists of three steps, executed faithfully:
+
+1. **Contraction** — every edge picks a flag; contracted components become
+   supernodes (identified with the minimum member ID, a detail the paper
+   also relies on, e.g. Lemma 42).
+2. **Consensus** — every node contributes an Õ(1)-bit input; every member of
+   a supernode learns the operator-fold of its supernode's inputs.
+3. **Aggregation** — every *edge of the contracted minor* sees the consensus
+   values of both endpoints and emits one value toward each side; every
+   supernode member learns the fold of the values directed at it.
+
+Algorithms written against :meth:`MinorAggregationEngine.round` learn only
+what round results reveal, which keeps them honest simulations.  Every
+executed round is charged to the :class:`~repro.accounting.RoundAccountant`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable
+
+import networkx as nx
+
+from repro.accounting import RoundAccountant
+from repro.ma.operators import Operator, estimate_bits
+from repro.trees.rooted import edge_key
+
+Node = Hashable
+Edge = tuple
+
+
+@dataclass
+class MARoundResult:
+    """Everything a node/edge legitimately learns from one round."""
+
+    #: supernode id (minimum member id by stable order) per node
+    supernode: dict[Node, Node]
+    #: consensus value of the node's supernode, per node
+    consensus: dict[Node, Any]
+    #: aggregation value of the node's supernode, per node
+    aggregate: dict[Node, Any]
+
+    def supernode_members(self) -> dict[Node, list[Node]]:
+        members: dict[Node, list[Node]] = {}
+        for node, sid in self.supernode.items():
+            members.setdefault(sid, []).append(node)
+        return members
+
+
+def _stable_min(ids: Iterable[Node]) -> Node:
+    return min(ids, key=lambda x: (type(x).__name__, str(x)))
+
+
+class MinorAggregationEngine:
+    """Executes Minor-Aggregation rounds over a weighted networkx graph.
+
+    Parameters
+    ----------
+    graph:
+        The communication topology.  Must stay fixed for the engine's
+        lifetime (the *minor* changes per round via contraction flags).
+    accountant:
+        Ledger charged one round per :meth:`round` call.
+    measure_bits:
+        When true, every consensus input and edge message is size-audited
+        against the Õ(1)-bit discipline (recorded, not enforced).
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        accountant: RoundAccountant | None = None,
+        measure_bits: bool = False,
+    ):
+        if graph.number_of_nodes() == 0:
+            raise ValueError("empty graph")
+        if not nx.is_connected(graph):
+            raise ValueError("Minor-Aggregation requires a connected graph")
+        self.graph = graph
+        self.acct = accountant or RoundAccountant()
+        self.measure_bits = measure_bits
+        self.rounds_executed = 0
+
+    # ------------------------------------------------------------------
+    def _supernodes(self, contracted: set[Edge]) -> dict[Node, Node]:
+        uf = nx.utils.UnionFind(self.graph.nodes())
+        for u, v in contracted:
+            uf.union(u, v)
+        groups: dict[Node, list[Node]] = {}
+        for node in self.graph.nodes():
+            groups.setdefault(uf[node], []).append(node)
+        supernode: dict[Node, Node] = {}
+        for members in groups.values():
+            sid = _stable_min(members)
+            for member in members:
+                supernode[member] = sid
+        return supernode
+
+    def _normalize_contract(
+        self, contract: set[Edge] | Callable[[Edge], bool] | None
+    ) -> set[Edge]:
+        if contract is None:
+            return set()
+        if callable(contract):
+            return {
+                edge_key(u, v)
+                for u, v in self.graph.edges()
+                if contract(edge_key(u, v))
+            }
+        return {edge_key(u, v) for (u, v) in contract}
+
+    def _audit(self, value: Any) -> None:
+        if self.measure_bits:
+            self.acct.record_message_bits(estimate_bits(value))
+
+    # ------------------------------------------------------------------
+    def round(
+        self,
+        contract: set[Edge] | Callable[[Edge], bool] | None = None,
+        node_input: Callable[[Node], Any] | dict | None = None,
+        consensus_op: Operator | None = None,
+        edge_message: Callable[[Edge, Node, Node, Any, Any], tuple[Any, Any]] | None = None,
+        aggregate_op: Operator | None = None,
+        charge_label: str = "ma-round",
+    ) -> MARoundResult:
+        """Execute one full Minor-Aggregation round.
+
+        ``edge_message(edge, u, v, y_u, y_v)`` is invoked once per edge of
+        the contracted minor (self-loops removed) and returns
+        ``(z_toward_u_side, z_toward_v_side)`` where ``y_u``/``y_v`` are the
+        consensus values of the supernodes containing ``u``/``v``.
+        """
+        self.rounds_executed += 1
+        self.acct.charge(1, charge_label)
+
+        contracted = self._normalize_contract(contract)
+        supernode = self._supernodes(contracted)
+
+        # --- Consensus step -------------------------------------------
+        consensus: dict[Node, Any] = {}
+        if consensus_op is not None:
+            getter: Callable[[Node], Any]
+            if node_input is None:
+                getter = lambda _v: consensus_op.identity()
+            elif callable(node_input):
+                getter = node_input
+            else:
+                getter = lambda v: node_input.get(v, consensus_op.identity())
+            per_super: dict[Node, Any] = {}
+            for node in self.graph.nodes():
+                value = getter(node)
+                self._audit(value)
+                sid = supernode[node]
+                if sid in per_super:
+                    per_super[sid] = consensus_op.combine(per_super[sid], value)
+                else:
+                    per_super[sid] = consensus_op.combine(consensus_op.identity(), value)
+            for node in self.graph.nodes():
+                consensus[node] = per_super[supernode[node]]
+
+        # --- Aggregation step ------------------------------------------
+        aggregate: dict[Node, Any] = {}
+        if aggregate_op is not None and edge_message is not None:
+            per_super_agg: dict[Node, Any] = {}
+            for u, v in self.graph.edges():
+                su, sv = supernode[u], supernode[v]
+                if su == sv:
+                    continue  # self-loop of the minor: removed
+                edge = edge_key(u, v)
+                z_u, z_v = edge_message(edge, u, v, consensus.get(u), consensus.get(v))
+                self._audit(z_u)
+                self._audit(z_v)
+                for sid, z in ((su, z_u), (sv, z_v)):
+                    if sid in per_super_agg:
+                        per_super_agg[sid] = aggregate_op.combine(per_super_agg[sid], z)
+                    else:
+                        per_super_agg[sid] = aggregate_op.combine(
+                            aggregate_op.identity(), z
+                        )
+            for node in self.graph.nodes():
+                sid = supernode[node]
+                aggregate[node] = per_super_agg.get(sid, aggregate_op.identity())
+
+        return MARoundResult(supernode=supernode, consensus=consensus, aggregate=aggregate)
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers used by many algorithms
+    # ------------------------------------------------------------------
+    def broadcast(self, values: dict[Node, Any], op: Operator, label: str = "broadcast") -> Any:
+        """Contract everything and fold all inputs: a global consensus round."""
+        result = self.round(
+            contract=set(edge_key(u, v) for u, v in self.graph.edges()),
+            node_input=values,
+            consensus_op=op,
+            charge_label=label,
+        )
+        return result.consensus[next(iter(self.graph.nodes()))]
+
+    def neighbor_exchange(
+        self,
+        values: dict[Node, Any],
+        edge_message: Callable[[Edge, Node, Node, Any, Any], tuple[Any, Any]],
+        aggregate_op: Operator,
+        label: str = "exchange",
+    ) -> MARoundResult:
+        """A contraction-free round: publish values, edges react, aggregate."""
+        from repro.ma.operators import FIRST
+
+        return self.round(
+            contract=None,
+            node_input=values,
+            consensus_op=FIRST,
+            edge_message=edge_message,
+            aggregate_op=aggregate_op,
+            charge_label=label,
+        )

@@ -1,0 +1,198 @@
+"""Aggregation operators (paper Definition 7 and Example 8).
+
+An aggregation operator folds a multiset of Õ(1)-bit messages into a single
+Õ(1)-bit message.  Commutative/associative operators (sum, min, max, or)
+yield a unique aggregate; general *mergeable sketches* -- most importantly the
+deterministic Misra-Gries heavy-hitter summary -- are also valid operators
+because any merge order satisfies the sketch's guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+
+@dataclass(frozen=True)
+class Operator:
+    """A fold: ``identity()`` produces the neutral element, ``combine`` folds.
+
+    ``combine`` must never mutate its arguments (values are shared between
+    logical computational units of the simulator).
+    """
+
+    name: str
+    identity: Callable[[], Any]
+    combine: Callable[[Any, Any], Any]
+
+    def fold(self, values) -> Any:
+        acc = self.identity()
+        for value in values:
+            acc = self.combine(acc, value)
+        return acc
+
+
+def _min_combine(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a if a <= b else b
+
+
+def _max_combine(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a if a >= b else b
+
+
+def _first_combine(a, b):
+    return a if a is not None else b
+
+
+def _dict_sum_combine(a: dict, b: dict) -> dict:
+    if not a:
+        return dict(b)
+    if not b:
+        return dict(a)
+    out = dict(a)
+    for key, value in b.items():
+        out[key] = out.get(key, 0) + value
+    return out
+
+
+def _set_union_combine(a: frozenset, b: frozenset) -> frozenset:
+    return a | b
+
+
+SUM = Operator("sum", lambda: 0, lambda a, b: a + b)
+MIN = Operator("min", lambda: None, _min_combine)
+MAX = Operator("max", lambda: None, _max_combine)
+OR = Operator("or", lambda: False, lambda a, b: bool(a) or bool(b))
+AND = Operator("and", lambda: True, lambda a, b: bool(a) and bool(b))
+FIRST = Operator("first", lambda: None, _first_combine)
+DICT_SUM = Operator("dict-sum", dict, _dict_sum_combine)
+SET_UNION = Operator("set-union", frozenset, _set_union_combine)
+
+
+class MisraGries:
+    """Deterministic mergeable heavy-hitter sketch (Example 8, [MG82]).
+
+    Maintains at most ``capacity`` keyed counters.  Let ``W`` be the total
+    weight inserted across all merged sketches and ``f(x)`` the true weight
+    of key ``x``.  The classic mergeable-summaries guarantee [ACHPWY13]:
+
+    * ``estimate(x) <= f(x)`` (estimates never overshoot), and
+    * ``f(x) - estimate(x) <= decremented <= W / (capacity + 1)``.
+
+    The sketch tracks ``decremented`` explicitly, so callers can filter with
+    the *exact* slack incurred rather than the worst-case bound.
+    """
+
+    __slots__ = ("capacity", "counts", "total", "decremented")
+
+    def __init__(
+        self,
+        capacity: int,
+        counts: dict[Hashable, float] | None = None,
+        total: float = 0.0,
+        decremented: float = 0.0,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.counts = dict(counts or {})
+        self.total = total
+        self.decremented = decremented
+
+    @classmethod
+    def empty(cls, capacity: int) -> "MisraGries":
+        return cls(capacity)
+
+    @classmethod
+    def singleton(cls, capacity: int, key: Hashable, weight: float) -> "MisraGries":
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        if weight == 0:
+            return cls(capacity)
+        return cls(capacity, {key: weight}, total=weight)
+
+    def add(self, key: Hashable, weight: float) -> "MisraGries":
+        return self.merged(MisraGries.singleton(self.capacity, key, weight))
+
+    def merged(self, other: "MisraGries") -> "MisraGries":
+        if other.capacity != self.capacity:
+            raise ValueError("cannot merge sketches of different capacity")
+        counts = dict(self.counts)
+        for key, value in other.counts.items():
+            counts[key] = counts.get(key, 0) + value
+        decremented = self.decremented + other.decremented
+        if len(counts) > self.capacity:
+            # Subtract the (capacity+1)-th largest count from everything and
+            # drop non-positive counters; at most `capacity` keys survive.
+            threshold = sorted(counts.values(), reverse=True)[self.capacity]
+            counts = {k: v - threshold for k, v in counts.items() if v > threshold}
+            decremented += threshold
+        return MisraGries(
+            self.capacity,
+            counts,
+            total=self.total + other.total,
+            decremented=decremented,
+        )
+
+    def estimate(self, key: Hashable) -> float:
+        return self.counts.get(key, 0)
+
+    def upper_bound(self, key: Hashable) -> float:
+        return self.counts.get(key, 0) + self.decremented
+
+    def keys_above(self, weight: float) -> list[Hashable]:
+        """Keys whose *true* frequency may be at least ``weight``."""
+        return [k for k, v in self.counts.items() if v + self.decremented >= weight]
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, MisraGries)
+            and self.capacity == other.capacity
+            and self.counts == other.counts
+            and self.total == other.total
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MisraGries(cap={self.capacity}, total={self.total}, counts={self.counts})"
+
+
+def misra_gries_operator(capacity: int) -> Operator:
+    """The heavy-hitter sketch as an Õ(capacity)-bit aggregation operator."""
+    return Operator(
+        name=f"misra-gries-{capacity}",
+        identity=lambda: MisraGries.empty(capacity),
+        combine=lambda a, b: a.merged(b),
+    )
+
+
+def estimate_bits(value: Any) -> int:
+    """Rough bit-size of a message, used to audit the Õ(1)-bit budget."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return max(1, value.bit_length()) + 1
+    if isinstance(value, float):
+        return 64
+    if isinstance(value, str):
+        return 8 * len(value)
+    if isinstance(value, MisraGries):
+        return sum(estimate_bits(k) + 64 for k in value.counts) + 128
+    if isinstance(value, dict):
+        return sum(estimate_bits(k) + estimate_bits(v) for k, v in value.items()) + 16
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return sum(estimate_bits(v) for v in value) + 16
+    if hasattr(value, "__dataclass_fields__"):
+        return sum(
+            estimate_bits(getattr(value, f)) for f in value.__dataclass_fields__
+        ) + 16
+    return 256

@@ -1,0 +1,14 @@
+"""Tree substrates: rooted trees, heavy-light decomposition, deterministic
+primitives (Cole-Vishkin coloring, star-merging, prefix/subtree/ancestor
+sums), and centroid finding (paper Sections 3.1, 4.2 and Appendix A)."""
+
+from repro.trees.rooted import RootedTree, edge_key
+from repro.trees.hld import HeavyLightDecomposition, HLInfo, lca_from_hl_info
+
+__all__ = [
+    "RootedTree",
+    "edge_key",
+    "HeavyLightDecomposition",
+    "HLInfo",
+    "lca_from_hl_info",
+]

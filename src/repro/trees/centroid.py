@@ -1,0 +1,80 @@
+"""Centroid finding (paper Fact 41 and Lemma 42).
+
+Every tree has a node whose removal leaves components of size at most
+``|V(T)|/2``.  The engine-based implementation follows Lemma 42 verbatim:
+subtree sizes via a subtree sum, one edge-passing round for the largest
+child component, and a leader-election broadcast among candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.ma.engine import MinorAggregationEngine
+from repro.ma.operators import FIRST, MAX, MIN, SUM
+from repro.trees.hld import HeavyLightDecomposition
+from repro.trees.rooted import RootedTree
+from repro.trees.sums import subtree_sums
+
+
+def find_centroid_centralized(tree: RootedTree) -> Hashable:
+    """Reference centroid: direct computation used by the core solvers."""
+    n = len(tree)
+    sizes = tree.subtree_sizes()
+    best = None
+    for node in tree.order:
+        largest = n - sizes[node]
+        for child in tree.children[node]:
+            largest = max(largest, sizes[child])
+        if largest <= n // 2:
+            key = (type(node).__name__, str(node))
+            if best is None or key < best[0]:
+                best = (key, node)
+    assert best is not None, "every tree has a centroid (Fact 41)"
+    return best[1]
+
+
+def find_centroid(
+    engine: MinorAggregationEngine,
+    tree: RootedTree,
+    hld: HeavyLightDecomposition | None = None,
+    label: str = "centroid",
+) -> Hashable:
+    """Lemma 42: centroid via engine rounds (validated against the oracle)."""
+    if len(tree) == 1:
+        return tree.root
+    if hld is None:
+        hld = HeavyLightDecomposition(tree)
+        engine.acct.charge(engine.acct.cost.hld(len(tree)), label + ":hld")
+    n = len(tree)
+    tree_edges = set(tree.edges())
+    sizes = subtree_sums(
+        engine, tree, hld, {v: 1 for v in tree.order}, SUM, label=label + ":sizes"
+    )
+
+    def child_size_pass(edge, u, v, y_u, y_v):
+        if edge not in tree_edges:
+            return (None, None)
+        child = tree.bottom(edge)
+        payload = y_u if child == u else y_v
+        if child == u:
+            return (None, payload)
+        return (payload, None)
+
+    collected = engine.round(
+        contract=None,
+        node_input=sizes,
+        consensus_op=FIRST,
+        edge_message=child_size_pass,
+        aggregate_op=MAX,
+        charge_label=label + ":max-child",
+    )
+    candidates = {}
+    for node in tree.order:
+        largest_child = collected.aggregate.get(node) or 0
+        largest = max(largest_child, n - sizes[node])
+        if largest <= n // 2:
+            candidates[node] = ((type(node).__name__, str(node)), node)
+    winner = engine.broadcast(candidates, MIN, label=label + ":elect")
+    assert winner is not None, "every tree has a centroid (Fact 41)"
+    return winner[1]

@@ -1,0 +1,116 @@
+"""Deterministic Cole-Vishkin 3-coloring of out-degree-one graphs [CV86].
+
+The paper derandomizes star-merging (Lemma 44) by 3-coloring the
+"parts-point-at-parents" graph.  Communication model (as in Appendix A):
+in each round every node broadcasts an O(log n)-bit value received by the
+nodes whose out-edge points at it; this is simulable in one
+Minor-Aggregation round, so the returned ``rounds`` count *is* the
+Minor-Aggregation cost.
+
+Two phases:
+
+1. **Bit reduction** to at most 6 colors in O(log* n) rounds: each node
+   recolors to ``2*i + bit_i(c_v)`` where ``i`` is the lowest bit where its
+   color differs from its successor's.  Proper along out-edges on *any*
+   functional graph (cycles included).
+2. **Shift-down + retire** from 6 to 3 colors in O(1) rounds: shifting every
+   node to its successor's color makes all in-neighbors of a node
+   monochromatic (they all adopt its old color), after which the largest
+   color class can safely recolor into {0, 1, 2}.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+
+def _lowest_differing_bit(a: int, b: int) -> int:
+    return (a ^ b).bit_length() - 1 if a != b else 0
+
+
+def _bit(value: int, index: int) -> int:
+    return (value >> index) & 1
+
+
+def _check_proper(successor, colors) -> None:
+    for node, succ in successor.items():
+        if succ is not None and colors[node] == colors[succ]:
+            raise AssertionError("internal error: improper coloring")
+
+
+def cole_vishkin_3_coloring(
+    successor: dict[Hashable, Hashable | None],
+) -> tuple[dict[Hashable, int], int]:
+    """3-color a graph where each node has at most one out-edge.
+
+    Parameters
+    ----------
+    successor:
+        Maps every node to the node its out-edge points at (or ``None``).
+
+    Returns
+    -------
+    (colors, rounds):
+        ``colors[v] in {0, 1, 2}`` with ``colors[v] != colors[successor[v]]``
+        whenever the successor exists, and the number of communication
+        rounds used (``O(log* n)``).
+    """
+    nodes = sorted(successor, key=lambda v: (type(v).__name__, str(v)))
+    if not nodes:
+        return {}, 0
+    for node, succ in successor.items():
+        if succ == node:
+            raise ValueError(f"self-loop at {node!r}")
+
+    colors = {node: index for index, node in enumerate(nodes)}
+    rounds = 0
+
+    # Phase 1: bit reduction.  If c'_u == c'_v for an edge u -> v then both
+    # chose the same differing-bit index i with the same bit value, which
+    # contradicts bit i of c_u differing from c_v.
+    while max(colors.values()) >= 6:
+        new_colors = {}
+        for node in nodes:
+            succ = successor[node]
+            own = colors[node]
+            # A node without a successor compares against a virtual color
+            # differing at bit 0; it has no out-constraint to maintain.
+            other = colors[succ] if succ is not None else own ^ 1
+            index = _lowest_differing_bit(own, other)
+            new_colors[node] = 2 * index + _bit(own, index)
+        colors = new_colors
+        rounds += 1
+
+    # Phase 2: shift-down + retire the current maximum color, until <= 3
+    # colors remain.  The shift (one round) copies every node's successor
+    # color; in-neighbors of v now all carry v's old color, which v knows
+    # locally.  Retiring the max class (one round) picks a color in {0,1,2}
+    # avoiding the successor's current color and the node's own old color.
+    while max(colors.values()) >= 3:
+        old = dict(colors)
+        shifted = {}
+        for node in nodes:
+            succ = successor[node]
+            if succ is not None:
+                shifted[node] = old[succ]
+            else:
+                # No successor: only in-edges constrain us; in-neighbors all
+                # adopt our old color, so anything else works.
+                shifted[node] = min(c for c in (0, 1, 2) if c != old[node])
+        rounds += 1
+
+        retire = max(shifted.values())
+        colors = dict(shifted)
+        if retire >= 3:
+            for node in nodes:
+                if shifted[node] != retire:
+                    continue
+                succ = successor[node]
+                forbidden = {old[node]}
+                if succ is not None:
+                    forbidden.add(shifted[succ])
+                colors[node] = min(c for c in (0, 1, 2) if c not in forbidden)
+            rounds += 1
+
+    _check_proper(successor, colors)
+    return colors, rounds

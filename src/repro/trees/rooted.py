@@ -1,0 +1,195 @@
+"""Rooted tree structure shared by all tree algorithms.
+
+The paper (Section 3, "Rooted trees") fixes the vocabulary implemented here:
+``parent``, ``top(e)``/``bottom(e)`` for tree edges, ancestor/descendant
+sets, depth, subtrees, descending paths, and the LCA.  A
+:class:`RootedTree` is the *distributedly stored* object of the paper
+(each node knows its parent) materialised centrally for the simulator.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Iterator
+
+import networkx as nx
+
+Node = Hashable
+Edge = tuple  # canonical (u, v) with a type-stable order
+
+
+def _node_sort_key(node: Node) -> tuple[str, str]:
+    return (type(node).__name__, str(node))
+
+
+def edge_key(u: Node, v: Node) -> Edge:
+    """Canonical undirected-edge key, stable across mixed node types."""
+    if _node_sort_key(u) <= _node_sort_key(v):
+        return (u, v)
+    return (v, u)
+
+
+class RootedTree:
+    """A tree rooted at ``root`` with parent/child/depth indices.
+
+    Parameters
+    ----------
+    tree:
+        A :class:`networkx.Graph` that is a tree (or forest containing the
+        root's component; only the root's component is indexed).
+    root:
+        The designated root node.
+    """
+
+    def __init__(self, tree: nx.Graph, root: Node):
+        if root not in tree:
+            raise ValueError(f"root {root!r} not in tree")
+        self.root = root
+        self.parent: dict[Node, Node | None] = {root: None}
+        self.children: dict[Node, list[Node]] = {}
+        self.depth: dict[Node, int] = {root: 0}
+        self.order: list[Node] = []  # BFS order from the root (top-down)
+        queue = deque([root])
+        while queue:
+            node = queue.popleft()
+            self.order.append(node)
+            self.children[node] = []
+            for nbr in tree.neighbors(node):
+                if nbr == self.parent[node]:
+                    continue
+                if nbr in self.parent:
+                    raise ValueError("input graph contains a cycle")
+                self.parent[nbr] = node
+                self.depth[nbr] = self.depth[node] + 1
+                self.children[node].append(nbr)
+                queue.append(nbr)
+        if len(self.order) != tree.number_of_nodes():
+            raise ValueError("input graph is not connected")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> list[Node]:
+        return self.order
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self.parent
+
+    def edges(self) -> Iterator[Edge]:
+        """All tree edges as canonical keys."""
+        for node in self.order:
+            if node != self.root:
+                yield edge_key(node, self.parent[node])
+
+    def edge_of(self, node: Node) -> Edge:
+        """The parent edge of ``node`` (canonical key)."""
+        if node == self.root:
+            raise ValueError("root has no parent edge")
+        return edge_key(node, self.parent[node])
+
+    def bottom(self, edge: Edge) -> Node:
+        """The endpoint of a tree edge farther from the root."""
+        u, v = edge
+        return u if self.depth[u] > self.depth[v] else v
+
+    def top(self, edge: Edge) -> Node:
+        """The endpoint of a tree edge closer to the root."""
+        u, v = edge
+        return u if self.depth[u] < self.depth[v] else v
+
+    # ------------------------------------------------------------------
+    # Ancestry
+    # ------------------------------------------------------------------
+    def ancestors(self, node: Node) -> Iterator[Node]:
+        """Root-to-node chain, from ``node`` upward (node included)."""
+        current: Node | None = node
+        while current is not None:
+            yield current
+            current = self.parent[current]
+
+    def is_ancestor(self, ancestor: Node, node: Node) -> bool:
+        """``ancestor`` lies on the root-to-``node`` path (inclusive)."""
+        if self.depth[ancestor] > self.depth[node]:
+            return False
+        current = node
+        while self.depth[current] > self.depth[ancestor]:
+            current = self.parent[current]
+        return current == ancestor
+
+    def lca(self, u: Node, v: Node) -> Node:
+        """Lowest common ancestor by walking up from the deeper node."""
+        while self.depth[u] > self.depth[v]:
+            u = self.parent[u]
+        while self.depth[v] > self.depth[u]:
+            v = self.parent[v]
+        while u != v:
+            u = self.parent[u]
+            v = self.parent[v]
+        return u
+
+    # ------------------------------------------------------------------
+    # Subtrees and paths
+    # ------------------------------------------------------------------
+    def subtree_nodes(self, node: Node) -> list[Node]:
+        """All descendants of ``node`` (inclusive), preorder."""
+        result = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            result.append(current)
+            stack.extend(self.children[current])
+        return result
+
+    def subtree_sizes(self) -> dict[Node, int]:
+        """|desc(v)| for every node, computed bottom-up in one pass."""
+        sizes = {node: 1 for node in self.order}
+        for node in reversed(self.order):
+            for child in self.children[node]:
+                sizes[node] += sizes[child]
+        return sizes
+
+    def path_edges(self, u: Node, v: Node) -> list[Edge]:
+        """Tree edges on the unique u-v path (the covering set of {u, v})."""
+        meet = self.lca(u, v)
+        edges: list[Edge] = []
+        for endpoint in (u, v):
+            current = endpoint
+            while current != meet:
+                edges.append(self.edge_of(current))
+                current = self.parent[current]
+        return edges
+
+    def path_nodes(self, u: Node, v: Node) -> list[Node]:
+        """Nodes on the unique u-v path, in order from u to v."""
+        meet = self.lca(u, v)
+        up: list[Node] = []
+        current = u
+        while current != meet:
+            up.append(current)
+            current = self.parent[current]
+        down: list[Node] = []
+        current = v
+        while current != meet:
+            down.append(current)
+            current = self.parent[current]
+        return up + [meet] + list(reversed(down))
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[Node, Node]], root: Node) -> "RootedTree":
+        graph = nx.Graph()
+        graph.add_node(root)
+        graph.add_edges_from(edges)
+        return cls(graph, root)
+
+    def to_graph(self) -> nx.Graph:
+        graph = nx.Graph()
+        graph.add_nodes_from(self.order)
+        graph.add_edges_from(self.edges())
+        return graph

@@ -1,0 +1,59 @@
+"""Deterministic star-merging (paper Lemma 44).
+
+Given an oriented graph where every node has out-degree at most one (nodes
+are typically contracted *parts* pointing at a chosen neighbor part), split
+the nodes into receivers ``R`` and joiners ``J`` such that
+
+1. ``|J| >= |O| / 3`` where ``O`` is the set of nodes with an out-edge,
+2. ``J`` is a subset of ``O`` (every joiner has a unique out-edge), and
+3. every joiner's out-edge points at a receiver.
+
+Merging joiners into their receivers therefore happens along star-shaped
+subgraphs and retires a constant fraction of parts per iteration -- the
+engine that drives the deterministic HLD construction (Lemma 47/Thm. 48)
+and the deterministic CONGEST simulation (Theorem 17).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.trees.cole_vishkin import cole_vishkin_3_coloring
+
+
+@dataclass(frozen=True)
+class StarMergeResult:
+    receivers: frozenset
+    joiners: frozenset
+    rounds: int
+
+    def merge_target(self, successor: dict) -> dict[Hashable, Hashable]:
+        """Joiner -> receiver merge map implied by the partition."""
+        return {j: successor[j] for j in self.joiners}
+
+
+def star_merge(successor: dict[Hashable, Hashable | None]) -> StarMergeResult:
+    """Partition nodes into receivers and joiners per Lemma 44.
+
+    ``successor[v]`` is the head of ``v``'s out-edge, or ``None``.  Runs the
+    Cole-Vishkin 3-coloring, counts color frequencies among out-degree-one
+    nodes with one global aggregation round, and joins the most frequent
+    color class.
+    """
+    colors, cv_rounds = cole_vishkin_3_coloring(successor)
+    out_nodes = [v for v, s in successor.items() if s is not None]
+    if not out_nodes:
+        return StarMergeResult(
+            receivers=frozenset(successor),
+            joiners=frozenset(),
+            rounds=cv_rounds,
+        )
+    frequency = Counter(colors[v] for v in out_nodes)
+    # Deterministic tie-break (count desc, color asc), computable from the
+    # global (N_0, N_1, N_2) counts every node learns in one consensus round.
+    best_color = max(frequency, key=lambda c: (frequency[c], -c))
+    joiners = frozenset(v for v in out_nodes if colors[v] == best_color)
+    receivers = frozenset(v for v in successor if v not in joiners)
+    return StarMergeResult(receivers=receivers, joiners=joiners, rounds=cv_rounds + 1)

@@ -1,0 +1,221 @@
+"""Deterministic tree aggregation primitives (paper Lemmas 45 and 46).
+
+All three primitives run *genuinely* through the Minor-Aggregation engine:
+every communication step is an engine round and the measured round counts
+are the ones the benchmarks report.
+
+* :func:`path_prefix_sums` / :func:`path_suffix_sums` -- Lemma 45: aggregate
+  prefixes along numbered paths in ``ceil(log2 len)`` rounds, with any number
+  of node-disjoint paths sharing the same rounds (Corollary 11).
+* :func:`subtree_sums` / :func:`ancestor_sums` -- Lemma 46: process HL-depth
+  levels bottom-up (resp. top-down); each level does one edge-passing round
+  plus a batched path prefix/suffix sum.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.ma.engine import MinorAggregationEngine
+from repro.ma.operators import FIRST, Operator
+from repro.trees.hld import HeavyLightDecomposition
+from repro.trees.rooted import RootedTree, edge_key
+
+Node = Hashable
+
+
+def path_prefix_sums(
+    engine: MinorAggregationEngine,
+    paths: list[list[Node]],
+    values: dict[Node, Any],
+    op: Operator,
+    label: str = "prefix-sum",
+) -> dict[Node, Any]:
+    """Lemma 45: ``p[v] = fold(values of path[0..index(v)])`` for every node.
+
+    ``paths`` must be node-disjoint paths of ``engine.graph`` (consecutive
+    nodes adjacent); they are processed simultaneously.  Each doubling level
+    costs exactly one engine round: the right half of every segment pair is
+    contracted together with its bridge edge, the left half's last node
+    publishes its running prefix, and right-half nodes fold it in.
+    """
+    prefix = {node: values[node] for path in paths for node in path}
+    if not paths:
+        return prefix
+    max_len = max(len(path) for path in paths)
+    segment = 1
+    while segment < max_len:
+        contract: set = set()
+        publishers: dict[Node, Any] = {}
+        updates: list[list[Node]] = []
+        for path in paths:
+            for start in range(0, len(path), 2 * segment):
+                left = path[start : start + segment]
+                right = path[start + segment : start + 2 * segment]
+                if not right:
+                    continue
+                contract.add(edge_key(left[-1], right[0]))
+                for a, b in zip(right, right[1:]):
+                    contract.add(edge_key(a, b))
+                publishers[left[-1]] = prefix[left[-1]]
+                updates.append(right)
+        if contract:
+            result = engine.round(
+                contract=contract,
+                node_input=lambda v: publishers.get(v),
+                consensus_op=FIRST,
+                charge_label=label,
+            )
+            for right in updates:
+                for node in right:
+                    left_total = result.consensus[node]
+                    prefix[node] = op.combine(left_total, prefix[node])
+        segment *= 2
+    return prefix
+
+
+def path_suffix_sums(
+    engine: MinorAggregationEngine,
+    paths: list[list[Node]],
+    values: dict[Node, Any],
+    op: Operator,
+    label: str = "suffix-sum",
+) -> dict[Node, Any]:
+    """Lemma 45, suffix version: fold from each node to its path's end."""
+    return path_prefix_sums(
+        engine, [list(reversed(p)) for p in paths], values, op, label=label
+    )
+
+
+def _node_paths_at_depth(
+    tree: RootedTree, hld: HeavyLightDecomposition, depth: int
+) -> list[list[Node]]:
+    """Maximal chains of nodes with the given HL-depth (numbered paths)."""
+    paths = []
+    for hl_path in hld.hl_paths():
+        if hl_path.depth != depth:
+            continue
+        nodes = list(hl_path.nodes)
+        if depth == 0 and hl_path.anchor == tree.root:
+            nodes = [tree.root] + nodes
+        paths.append(nodes)
+    if depth == 0 and not paths and len(tree) == 1:
+        paths.append([tree.root])
+    return paths
+
+
+def subtree_sums(
+    engine: MinorAggregationEngine,
+    tree: RootedTree,
+    hld: HeavyLightDecomposition,
+    values: dict[Node, Any],
+    op: Operator,
+    label: str = "subtree-sum",
+) -> dict[Node, Any]:
+    """Lemma 46: ``s[v] = fold(values of desc(v))`` w.r.t. the tree root.
+
+    Processes HL-depth levels bottom-up.  At level ``d``, one edge-passing
+    round folds the already-computed sums of light children into each node's
+    private input, and a batched suffix sum along the level's node paths
+    finishes the level.
+    """
+    if len(tree) == 1:
+        return {tree.root: values[tree.root]}
+    sums: dict[Node, Any] = {}
+    tree_edges = set(tree.edges())
+
+    for depth in range(hld.max_hl_depth(), -1, -1):
+        paths = _node_paths_at_depth(tree, hld, depth)
+        if not paths:
+            continue
+
+        def light_child_pass(edge, u, v, y_u, y_v):
+            if edge not in tree_edges:
+                return (op.identity(), op.identity())
+            child = tree.bottom(edge)
+            parent = tree.top(edge)
+            if (
+                hld.hl_depth[child] == depth + 1
+                and not hld.is_heavy_child(parent, child)
+            ):
+                payload = y_u if child == u else y_v
+                if child == u:
+                    return (op.identity(), payload)
+                return (payload, op.identity())
+            return (op.identity(), op.identity())
+
+        collected = engine.round(
+            contract=None,
+            node_input=lambda v: sums.get(v),
+            consensus_op=FIRST,
+            edge_message=light_child_pass,
+            aggregate_op=op,
+            charge_label=label,
+        )
+        level_inputs = {}
+        for path in paths:
+            for node in path:
+                level_inputs[node] = op.combine(
+                    values[node], collected.aggregate[node]
+                )
+        level_sums = path_suffix_sums(engine, paths, level_inputs, op, label=label)
+        sums.update(level_sums)
+    return sums
+
+
+def ancestor_sums(
+    engine: MinorAggregationEngine,
+    tree: RootedTree,
+    hld: HeavyLightDecomposition,
+    values: dict[Node, Any],
+    op: Operator,
+    label: str = "ancestor-sum",
+) -> dict[Node, Any]:
+    """Lemma 46: ``p[v] = fold(values of anc(v))``, v included.
+
+    Processes HL-depth levels top-down.  At level ``d``, one edge-passing
+    round fetches each path anchor's ancestor sum across the attachment
+    (light) edge; a batched prefix sum along the level's paths finishes it.
+    """
+    if len(tree) == 1:
+        return {tree.root: values[tree.root]}
+    sums: dict[Node, Any] = {}
+    tree_edges = set(tree.edges())
+
+    for depth in range(0, hld.max_hl_depth() + 1):
+        paths = _node_paths_at_depth(tree, hld, depth)
+        if not paths:
+            continue
+        heads = {path[0] for path in paths if path[0] != tree.root}
+
+        def anchor_pass(edge, u, v, y_u, y_v):
+            if edge not in tree_edges:
+                return (FIRST.identity(), FIRST.identity())
+            child = tree.bottom(edge)
+            parent = tree.top(edge)
+            if child in heads:
+                payload = y_u if parent == u else y_v
+                if child == u:
+                    return (payload, FIRST.identity())
+                return (FIRST.identity(), payload)
+            return (FIRST.identity(), FIRST.identity())
+
+        fetched = engine.round(
+            contract=None,
+            node_input=lambda v: sums.get(v),
+            consensus_op=FIRST,
+            edge_message=anchor_pass,
+            aggregate_op=FIRST,
+            charge_label=label,
+        )
+        level_inputs = {}
+        for path in paths:
+            for node in path:
+                level_inputs[node] = values[node]
+            head = path[0]
+            if head != tree.root:
+                above = fetched.aggregate[head]
+                level_inputs[head] = op.combine(above, values[head])
+        level_sums = path_prefix_sums(engine, paths, level_inputs, op, label=label)
+        sums.update(level_sums)
+    return sums

@@ -1,0 +1,55 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    cycle_graph,
+    delaunay_planar_graph,
+    grid_graph,
+    random_connected_gnm,
+    random_spanning_tree,
+    tree_plus_chords,
+)
+from repro.trees.rooted import RootedTree
+
+
+def small_graph_cases() -> list[tuple[str, nx.Graph]]:
+    """A spread of small weighted graphs used across correctness tests."""
+    cases = [
+        ("gnm-20-40", random_connected_gnm(20, 40, seed=1, weight_high=20)),
+        ("gnm-30-80", random_connected_gnm(30, 80, seed=2, weight_high=30)),
+        ("gnm-25-35-sparse", random_connected_gnm(25, 35, seed=3, weight_high=10)),
+        ("grid-5x5", grid_graph(5, 5, seed=4)),
+        ("cycle-18", cycle_graph(18, seed=5)),
+        ("tree-chords", tree_plus_chords(24, 8, seed=6)),
+        ("delaunay-22", delaunay_planar_graph(22, seed=7)),
+    ]
+    return cases
+
+
+def graph_tree_cases() -> list[tuple[str, nx.Graph, RootedTree]]:
+    out = []
+    for name, graph in small_graph_cases():
+        tree = random_spanning_tree(graph, seed=hash(name) % 1000)
+        root = min(graph.nodes())
+        out.append((name, graph, RootedTree(tree, root)))
+    return out
+
+
+def random_tree(n: int, seed: int) -> RootedTree:
+    rng = random.Random(seed)
+    graph = nx.Graph()
+    graph.add_node(0)
+    for v in range(1, n):
+        graph.add_edge(v, rng.randrange(v))
+    return RootedTree(graph, 0)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0)

@@ -1,0 +1,162 @@
+"""Round accounting: sequential sum, parallel max, virtual overhead scopes."""
+
+import math
+
+import pytest
+
+from repro.accounting import CostModel, RoundAccountant, log2ceil, log_star
+
+
+class TestLogHelpers:
+    def test_log2ceil_basics(self):
+        assert log2ceil(2) == 1
+        assert log2ceil(3) == 2
+        assert log2ceil(4) == 2
+        assert log2ceil(1024) == 10
+        assert log2ceil(1025) == 11
+
+    def test_log2ceil_clamps_small(self):
+        assert log2ceil(0) == 1
+        assert log2ceil(1) == 1
+
+    def test_log_star_growth(self):
+        # Our log* iterates log2 until the value drops to 2.
+        assert log_star(2) == 1
+        assert log_star(16) == 2
+        assert log_star(65536) == 3
+        assert log_star(2 ** 65536) <= 5
+        assert log_star(10 ** 9) <= log_star(2 ** 65536)
+
+    def test_log_star_tiny(self):
+        assert log_star(1) == 1
+
+
+class TestCostModel:
+    def test_prefix_sum_is_log(self):
+        cost = CostModel()
+        assert cost.prefix_sum(8) == 3
+        assert cost.prefix_sum(1000) == 10
+
+    def test_subtree_sum_polylog(self):
+        cost = CostModel()
+        n = 1 << 16
+        assert cost.subtree_sum(n) <= 40 * log2ceil(n) ** 2
+
+    def test_formulas_monotone_in_n(self):
+        cost = CostModel()
+        for method in ("prefix_sum", "subtree_sum", "hld", "centroid", "one_respecting"):
+            values = [getattr(cost, method)(n) for n in (4, 16, 256, 4096)]
+            assert values == sorted(values), method
+
+    def test_scale_multiplier(self):
+        acct = RoundAccountant(CostModel(scale=2.0))
+        acct.charge(3)
+        assert acct.total == 6.0
+
+    def test_edge_coloring_cost_grows_with_degree(self):
+        cost = CostModel()
+        assert cost.edge_coloring(1, 100) < cost.edge_coloring(8, 100)
+
+
+class TestRoundAccountant:
+    def test_sequential_sum(self):
+        acct = RoundAccountant()
+        acct.charge(2, "a")
+        acct.charge(3, "b")
+        assert acct.total == 5.0
+        assert acct.by_label() == {"a": 2.0, "b": 3.0}
+
+    def test_negative_charge_rejected(self):
+        acct = RoundAccountant()
+        with pytest.raises(ValueError):
+            acct.charge(-1)
+
+    def test_parallel_takes_max(self):
+        acct = RoundAccountant()
+        with acct.parallel() as par:
+            with par.branch():
+                acct.charge(5)
+            with par.branch():
+                acct.charge(2)
+            with par.branch():
+                acct.charge(4)
+        assert acct.total == 5.0
+
+    def test_parallel_empty_contributes_zero(self):
+        acct = RoundAccountant()
+        with acct.parallel():
+            pass
+        assert acct.total == 0.0
+
+    def test_nested_parallel(self):
+        acct = RoundAccountant()
+        with acct.parallel() as outer:
+            with outer.branch():
+                acct.charge(1)
+                with acct.parallel() as inner:
+                    with inner.branch():
+                        acct.charge(10)
+                    with inner.branch():
+                        acct.charge(3)
+            with outer.branch():
+                acct.charge(6)
+        # branch 1 costs 1 + max(10, 3) = 11; branch 2 costs 6.
+        assert acct.total == 11.0
+
+    def test_sequential_after_parallel(self):
+        acct = RoundAccountant()
+        with acct.parallel() as par:
+            with par.branch():
+                acct.charge(4)
+        acct.charge(1)
+        assert acct.total == 5.0
+
+    def test_virtual_overhead_multiplies(self):
+        acct = RoundAccountant()
+        with acct.virtual_overhead(3):
+            acct.charge(2)
+        assert acct.total == 8.0  # (beta + 1) * rounds
+
+    def test_virtual_overhead_beta_zero_is_identity(self):
+        acct = RoundAccountant()
+        with acct.virtual_overhead(0):
+            acct.charge(7)
+        assert acct.total == 7.0
+
+    def test_virtual_overhead_nested_stacks(self):
+        acct = RoundAccountant()
+        with acct.virtual_overhead(1):
+            with acct.virtual_overhead(2):
+                acct.charge(1)
+        assert acct.total == 6.0
+
+    def test_virtual_overhead_negative_beta_rejected(self):
+        acct = RoundAccountant()
+        with pytest.raises(ValueError):
+            with acct.virtual_overhead(-1):
+                pass
+
+    def test_overhead_inside_parallel_branch(self):
+        acct = RoundAccountant()
+        with acct.parallel() as par:
+            with par.branch():
+                with acct.virtual_overhead(4):
+                    acct.charge(2)
+            with par.branch():
+                acct.charge(3)
+        assert acct.total == 10.0
+
+    def test_snapshot_structure(self):
+        acct = RoundAccountant()
+        acct.charge(1, "x")
+        acct.record_message_bits(99)
+        snap = acct.snapshot()
+        assert snap["total_rounds"] == 1.0
+        assert snap["by_label"] == {"x": 1.0}
+        assert snap["max_message_bits"] == 99
+
+    def test_message_bits_keeps_max(self):
+        acct = RoundAccountant()
+        acct.record_message_bits(10)
+        acct.record_message_bits(5)
+        assert acct.max_message_bits == 10

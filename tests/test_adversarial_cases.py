@@ -1,0 +1,154 @@
+"""Adversarial / structured cases for the full pipeline.
+
+These target the regimes where each piece of the machinery is forced to do
+real work: cuts that *must* be 2-respecting (cycles with a path tree),
+massive weight ties, near-bipartite structures, and min-cuts isolating
+single nodes.
+"""
+
+import networkx as nx
+import pytest
+
+import repro
+from repro.core.cut_values import two_respecting_oracle
+from repro.core.general import two_respecting_min_cut
+from repro.graphs import random_connected_gnm, random_spanning_tree
+from repro.trees.rooted import RootedTree, edge_key
+
+
+class TestForcedTwoRespecting:
+    def test_cycle_with_path_tree_needs_a_pair(self):
+        """On a cycle, any cut severs >= 2 edges; with the Hamiltonian path
+        as the tree, the minimum cut 2-respects it with exactly 2 tree edges
+        (unless it uses the one non-tree chord)."""
+        n = 16
+        graph = nx.cycle_graph(n)
+        for u, v in graph.edges():
+            graph[u][v]["weight"] = 10
+        graph[0][n - 1]["weight"] = 10
+        # Make two specific cycle edges the cheapest pair.
+        graph[3][4]["weight"] = 1
+        graph[10][11]["weight"] = 1
+        tree = nx.path_graph(n)
+        for u, v in tree.edges():
+            tree[u][v]["weight"] = graph[u][v]["weight"]
+        rooted = RootedTree(tree, 0)
+        result = two_respecting_min_cut(graph, rooted)
+        assert result.best.value == 2
+        assert result.best.kind == "2-respecting"
+        assert set(result.best.edges) == {edge_key(3, 4), edge_key(10, 11)}
+
+    def test_minimum_cut_on_cycle_is_two_lightest_compatible_edges(self):
+        graph = nx.cycle_graph(12)
+        weights = [5, 9, 2, 8, 7, 3, 9, 6, 4, 9, 8, 7]
+        for (u, v), w in zip(
+            [(i, (i + 1) % 12) for i in range(12)], weights
+        ):
+            graph[u][v]["weight"] = w
+        result = repro.minimum_cut(graph, seed=1)
+        assert result.value == 5  # edges of weight 2 and 3
+        assert len(result.cut_edges) == 2
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_pipeline_agrees_when_optimum_is_pair(self, seed):
+        """Random graphs conditioned on the per-tree optimum being a pair."""
+        found = 0
+        for offset in range(20):
+            graph = random_connected_gnm(
+                18, 26, seed=seed * 100 + offset, weight_high=10
+            )
+            tree = RootedTree(random_spanning_tree(graph, seed=offset), 0)
+            oracle = two_respecting_oracle(graph, tree)
+            if len(oracle.edges) != 2:
+                continue
+            found += 1
+            result = two_respecting_min_cut(graph, tree)
+            assert result.best.value == pytest.approx(oracle.value)
+            if found >= 3:
+                break
+        assert found >= 1, "no 2-respecting-optimal instance sampled"
+
+
+class TestDegenerateWeights:
+    def test_all_weights_equal(self):
+        """Maximal ties everywhere: determinism + exactness must survive."""
+        graph = random_connected_gnm(20, 48, seed=4, weight_high=1)
+        expected, _ = nx.stoer_wagner(graph)
+        result = repro.minimum_cut(graph, seed=4)
+        assert result.value == expected
+
+    def test_single_heavy_edge_dominates(self):
+        graph = nx.cycle_graph(10)
+        for u, v in graph.edges():
+            graph[u][v]["weight"] = 1
+        graph[0][1]["weight"] = 10 ** 9
+        result = repro.minimum_cut(graph, seed=5)
+        assert result.value == 2
+
+    def test_isolated_min_degree_node(self):
+        """The min cut isolates the unique low-degree node."""
+        graph = nx.complete_graph(9)
+        for u, v in graph.edges():
+            graph[u][v]["weight"] = 50
+        graph.add_edge(9, 0, weight=1)
+        graph.add_edge(9, 1, weight=1)
+        result = repro.minimum_cut(graph, seed=6)
+        assert result.value == 2
+        assert frozenset([9]) in result.partition
+
+    def test_star_graph_cuts_a_leaf(self):
+        graph = nx.star_graph(8)
+        for index, (u, v) in enumerate(graph.edges()):
+            graph[u][v]["weight"] = index + 2
+        result = repro.minimum_cut(graph, seed=7)
+        assert result.value == 2
+        assert len(result.cut_edges) == 1
+
+
+class TestStructuredTopologies:
+    def test_two_triangles_three_bridges(self):
+        """Min cut must take all three parallel-ish bridges."""
+        graph = nx.Graph()
+        for u, v in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]:
+            graph.add_edge(u, v, weight=100)
+        graph.add_edge(0, 3, weight=2)
+        graph.add_edge(1, 4, weight=2)
+        graph.add_edge(2, 5, weight=2)
+        result = repro.minimum_cut(graph, seed=8)
+        assert result.value == 6
+        assert len(result.cut_edges) == 3
+
+    def test_long_path_of_blobs(self):
+        """Chain of cliques: the min cut is the weakest chain link."""
+        graph = nx.Graph()
+        blobs = 4
+        size = 4
+        for b in range(blobs):
+            base = b * size
+            for i in range(size):
+                for j in range(i + 1, size):
+                    graph.add_edge(base + i, base + j, weight=30)
+            if b:
+                graph.add_edge(base - 1, base, weight=3 + b)
+        result = repro.minimum_cut(graph, seed=9)
+        assert result.value == 4  # the first link (3 + 1)
+        probe = graph.copy()
+        probe.remove_edges_from(result.cut_edges)
+        assert not nx.is_connected(probe)
+
+    def test_complete_bipartite(self):
+        graph = nx.complete_bipartite_graph(4, 5)
+        for u, v in graph.edges():
+            graph[u][v]["weight"] = 2
+        expected, _ = nx.stoer_wagner(graph)
+        result = repro.minimum_cut(graph, seed=10)
+        assert result.value == expected
+
+    @pytest.mark.parametrize("n", [4, 5, 6, 7])
+    def test_small_complete_graphs(self, n):
+        graph = nx.complete_graph(n)
+        for u, v in graph.edges():
+            graph[u][v]["weight"] = u + v + 1
+        expected, _ = nx.stoer_wagner(graph)
+        result = repro.minimum_cut(graph, seed=n)
+        assert result.value == expected

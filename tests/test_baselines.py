@@ -1,0 +1,145 @@
+"""Baselines: Stoer-Wagner, Karger(-Stein), naive CONGEST collection."""
+
+import networkx as nx
+import pytest
+
+from repro.baselines import (
+    exact_min_cut_reference,
+    karger_min_cut,
+    karger_stein_min_cut,
+    naive_congest_min_cut,
+    stoer_wagner_min_cut,
+)
+from repro.core.cut_values import partition_cut_weight
+from repro.graphs import (
+    cycle_graph,
+    grid_graph,
+    planted_cut_graph,
+    random_connected_gnm,
+)
+
+
+class TestStoerWagner:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_networkx(self, seed):
+        graph = random_connected_gnm(22, 55, seed=seed, weight_high=40)
+        ours, _partition = stoer_wagner_min_cut(graph)
+        theirs, _cut = nx.stoer_wagner(graph)
+        assert ours == pytest.approx(theirs)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_partition_witnesses_value(self, seed):
+        graph = random_connected_gnm(20, 45, seed=seed + 50)
+        value, (side, other) = stoer_wagner_min_cut(graph)
+        weight, _crossing = partition_cut_weight(graph, side)
+        assert weight == pytest.approx(value)
+        assert side | other == set(graph.nodes())
+        assert side and other and not (side & other)
+
+    def test_planted(self):
+        graph = planted_cut_graph(10, 11, cross_edges=3, seed=1)
+        value, (side, _other) = stoer_wagner_min_cut(graph)
+        assert value == graph.graph["planted_cut_value"]
+        left, right = graph.graph["planted_partition"]
+        assert side in (left, right)
+
+    def test_two_nodes(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=9)
+        value, _ = stoer_wagner_min_cut(graph)
+        assert value == 9
+
+    def test_single_node_rejected(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        with pytest.raises(ValueError):
+            stoer_wagner_min_cut(graph)
+
+    def test_disconnected_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        graph.add_node(2)
+        with pytest.raises(ValueError):
+            stoer_wagner_min_cut(graph)
+
+    def test_unweighted_defaults_to_one(self):
+        graph = nx.cycle_graph(8)
+        value, _ = stoer_wagner_min_cut(graph)
+        assert value == 2
+
+    def test_cross_check_helper(self):
+        graph = random_connected_gnm(18, 40, seed=7)
+        assert exact_min_cut_reference(graph) == pytest.approx(
+            nx.stoer_wagner(graph)[0]
+        )
+
+
+class TestKarger:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_finds_exact_with_enough_trials(self, seed):
+        graph = random_connected_gnm(14, 28, seed=seed + 70, weight_high=10)
+        expected, _ = stoer_wagner_min_cut(graph)
+        value, (side, other) = karger_min_cut(graph, trials=250, seed=seed)
+        assert value == pytest.approx(expected)
+        weight, _ = partition_cut_weight(graph, side)
+        assert weight == pytest.approx(value)
+
+    def test_never_below_optimum(self):
+        """Contraction only ever produces feasible cuts."""
+        graph = random_connected_gnm(16, 34, seed=5)
+        expected, _ = stoer_wagner_min_cut(graph)
+        value, _ = karger_min_cut(graph, trials=5, seed=0)
+        assert value >= expected - 1e-9
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_karger_stein(self, seed):
+        graph = random_connected_gnm(16, 36, seed=seed + 90, weight_high=8)
+        expected, _ = stoer_wagner_min_cut(graph)
+        value, (side, _other) = karger_stein_min_cut(graph, seed=seed)
+        assert value == pytest.approx(expected)
+        weight, _ = partition_cut_weight(graph, side)
+        assert weight == pytest.approx(value)
+
+    def test_weighted_contraction_respects_weights(self):
+        """A huge-weight edge is (almost) never the last uncontracted one."""
+        graph = planted_cut_graph(
+            8, 8, cross_edges=2, cross_weight=1, inside_weight=500, seed=3
+        )
+        value, _ = karger_min_cut(graph, trials=120, seed=1)
+        assert value == graph.graph["planted_cut_value"]
+
+
+class TestNaiveCongest:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_value_exact(self, seed):
+        graph = random_connected_gnm(14, 30, seed=seed)
+        expected, _ = stoer_wagner_min_cut(graph)
+        out = naive_congest_min_cut(graph)
+        assert out["value"] == pytest.approx(expected)
+
+    def test_rounds_lower_bounded_by_root_bandwidth(self):
+        """Collection costs >= m / deg(root): the leader's inbox is the
+        bottleneck -- Θ(m + D) on bounded-degree networks."""
+        for seed, (n, m) in [(1, (20, 22)), (1, (20, 120)), (2, (24, 60))]:
+            graph = random_connected_gnm(n, m, seed=seed)
+            root = min(graph.nodes())
+            out = naive_congest_min_cut(graph)
+            assert out["rounds"] >= m / max(1, graph.degree(root))
+
+    def test_rounds_linear_in_m_on_bounded_degree(self):
+        """On a cycle (degree 2) collection really takes Ω(m) rounds."""
+        graph = cycle_graph(30, seed=4)
+        out = naive_congest_min_cut(graph)
+        assert out["rounds"] >= 30 / 2
+
+    def test_rounds_at_least_eccentricity(self):
+        graph = cycle_graph(24, seed=2)
+        out = naive_congest_min_cut(graph)
+        assert out["rounds"] >= 12
+
+    def test_on_grid(self):
+        graph = grid_graph(4, 5, seed=3)
+        expected, _ = stoer_wagner_min_cut(graph)
+        out = naive_congest_min_cut(graph)
+        assert out["value"] == pytest.approx(expected)
+        assert out["messages"] > graph.number_of_edges()

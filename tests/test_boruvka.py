@@ -1,0 +1,75 @@
+"""Boruvka MST in the Minor-Aggregation engine (the paper's showcase)."""
+
+import networkx as nx
+import pytest
+
+from repro.accounting import RoundAccountant, log2ceil
+from repro.graphs import grid_graph, random_connected_gnm
+from repro.ma.boruvka import boruvka_mst
+from repro.ma.engine import MinorAggregationEngine
+
+
+def mst_weight(graph, edges):
+    return sum(graph[u][v]["weight"] for u, v in edges)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_matches_kruskal_weight(seed):
+    graph = random_connected_gnm(35, 90, seed=seed)
+    engine = MinorAggregationEngine(graph)
+    mst = boruvka_mst(engine)
+    reference = nx.minimum_spanning_tree(graph).size(weight="weight")
+    assert mst_weight(graph, mst) == reference
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_result_is_spanning_tree(seed):
+    graph = random_connected_gnm(30, 70, seed=seed + 100)
+    engine = MinorAggregationEngine(graph)
+    mst = boruvka_mst(engine)
+    tree = nx.Graph()
+    tree.add_nodes_from(graph.nodes())
+    tree.add_edges_from(mst)
+    assert nx.is_tree(tree)
+
+
+def test_round_count_logarithmic():
+    """O(log n) phases, one engine round each."""
+    graph = random_connected_gnm(120, 400, seed=3)
+    acct = RoundAccountant()
+    engine = MinorAggregationEngine(graph, accountant=acct)
+    boruvka_mst(engine)
+    assert engine.rounds_executed <= log2ceil(120) + 1
+
+
+def test_custom_cost_function():
+    """The packing uses relative loads, not graph weights."""
+    from repro.trees.rooted import edge_key
+
+    graph = random_connected_gnm(25, 60, seed=4)
+    costs = {edge_key(u, v): (u * 31 + v * 17) % 10 for u, v in graph.edges()}
+    engine = MinorAggregationEngine(graph)
+    mst = boruvka_mst(engine, edge_cost=lambda e: costs[e])
+    total = sum(costs[e] for e in mst)
+    cost_graph = nx.Graph()
+    for u, v in graph.edges():
+        cost_graph.add_edge(u, v, weight=costs[edge_key(u, v)])
+    expected = nx.minimum_spanning_tree(cost_graph).size(weight="weight")
+    assert total == expected
+
+
+def test_on_planar_grid():
+    graph = grid_graph(6, 6, seed=5)
+    engine = MinorAggregationEngine(graph)
+    mst = boruvka_mst(engine)
+    assert len(mst) == 35
+
+
+def test_tie_breaking_deterministic():
+    graph = nx.cycle_graph(8)
+    for u, v in graph.edges():
+        graph[u][v]["weight"] = 1  # all ties
+    first = boruvka_mst(MinorAggregationEngine(graph))
+    second = boruvka_mst(MinorAggregationEngine(graph))
+    assert first == second
+    assert len(first) == 7

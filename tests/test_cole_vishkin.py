@@ -1,0 +1,147 @@
+"""Cole-Vishkin 3-coloring and deterministic star-merging (Lemma 44)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accounting import log_star
+from repro.trees.cole_vishkin import cole_vishkin_3_coloring
+from repro.trees.star_merge import star_merge
+
+
+def random_functional_graph(n: int, seed: int, root_fraction: float = 0.1):
+    rng = random.Random(seed)
+    successor = {}
+    for v in range(n):
+        if n > 1 and rng.random() > root_fraction:
+            choice = rng.randrange(n - 1)
+            successor[v] = choice if choice < v else choice + 1
+        else:
+            successor[v] = None
+    return successor
+
+
+def ring(n: int):
+    return {i: (i + 1) % n for i in range(n)}
+
+
+def chain(n: int):
+    successor = {i: i + 1 for i in range(n - 1)}
+    successor[n - 1] = None
+    return successor
+
+
+def assert_proper(successor, colors):
+    for node, succ in successor.items():
+        assert colors[node] in (0, 1, 2)
+        if succ is not None:
+            assert colors[node] != colors[succ], (node, succ)
+
+
+class TestColeVishkin:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_functional_graphs(self, seed):
+        successor = random_functional_graph(150, seed)
+        colors, _rounds = cole_vishkin_3_coloring(successor)
+        assert_proper(successor, colors)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 10, 101])
+    def test_rings_including_odd(self, n):
+        successor = ring(n)
+        colors, _rounds = cole_vishkin_3_coloring(successor)
+        assert_proper(successor, colors)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 64])
+    def test_chains(self, n):
+        successor = chain(n)
+        colors, _rounds = cole_vishkin_3_coloring(successor)
+        assert_proper(successor, colors)
+
+    def test_empty(self):
+        colors, rounds = cole_vishkin_3_coloring({})
+        assert colors == {} and rounds == 0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            cole_vishkin_3_coloring({0: 0})
+
+    def test_round_count_is_log_star(self):
+        """O(log* n) bit-reduction rounds + O(1) cleanup."""
+        for n in (10, 100, 1000, 5000):
+            successor = ring(n)
+            _colors, rounds = cole_vishkin_3_coloring(successor)
+            assert rounds <= log_star(n) + 12, (n, rounds)
+
+    def test_round_count_barely_grows(self):
+        _c, r_small = cole_vishkin_3_coloring(ring(16))
+        _c, r_big = cole_vishkin_3_coloring(ring(4096))
+        assert r_big - r_small <= 3
+
+    def test_non_integer_node_ids(self):
+        successor = {"a": "b", "b": "c", "c": None, ("t", 1): "a"}
+        colors, _ = cole_vishkin_3_coloring(successor)
+        assert_proper(successor, colors)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=1, max_value=300), st.integers(min_value=0, max_value=10_000))
+def test_cole_vishkin_property(n, seed):
+    successor = random_functional_graph(n, seed, root_fraction=0.2)
+    colors, rounds = cole_vishkin_3_coloring(successor)
+    assert_proper(successor, colors)
+    assert rounds <= log_star(n) + 12
+
+
+class TestStarMerge:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_lemma44_properties(self, seed):
+        successor = random_functional_graph(120, seed)
+        result = star_merge(successor)
+        out_nodes = {v for v, s in successor.items() if s is not None}
+        # (1) |J| >= |O| / 3
+        assert 3 * len(result.joiners) >= len(out_nodes)
+        # (2) J subseteq O
+        assert result.joiners <= out_nodes
+        # (3) every joiner's out-edge points at a receiver
+        for joiner in result.joiners:
+            assert successor[joiner] in result.receivers
+        # partition
+        assert result.joiners | result.receivers == set(successor)
+        assert not (result.joiners & result.receivers)
+
+    def test_no_out_edges_all_receivers(self):
+        result = star_merge({0: None, 1: None})
+        assert result.joiners == frozenset()
+        assert result.receivers == {0, 1}
+
+    def test_merge_target_map(self):
+        successor = chain(6)
+        result = star_merge(successor)
+        targets = result.merge_target(successor)
+        assert set(targets) == set(result.joiners)
+        for joiner, target in targets.items():
+            assert successor[joiner] == target
+
+    def test_merging_shrinks_parts_geometrically(self):
+        """Driving star-merge to a fixed point: O(log n) iterations."""
+        n = 256
+        parts = set(range(n))
+        parents = {v: (v // 2 if v else None) for v in range(n)}
+        iterations = 0
+        while len(parts) > 1 and iterations < 50:
+            successor = {}
+            for part in parts:
+                # Each part points at its parent part (None for the root).
+                successor[part] = parents[part]
+            result = star_merge(successor)
+            for joiner in result.joiners:
+                target = successor[joiner]
+                for v, p in list(parents.items()):
+                    if p == joiner:
+                        parents[v] = target
+                parts.discard(joiner)
+            iterations += 1
+        assert len(parts) == 1
+        assert iterations <= 4 * math.ceil(math.log2(n))

@@ -1,0 +1,155 @@
+"""CONGEST simulator: round semantics, message budget, classic algorithms."""
+
+import networkx as nx
+import pytest
+
+from repro.congest import (
+    CongestNetwork,
+    NodeProgram,
+    bfs_tree,
+    broadcast,
+    convergecast_sum,
+    leader_election,
+)
+from repro.congest.network import MessageTooLarge
+from repro.graphs import cycle_graph, grid_graph, random_connected_gnm
+
+
+class TestNetworkSemantics:
+    def test_rejects_disconnected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        graph.add_node(2)
+        with pytest.raises(ValueError):
+            CongestNetwork(graph)
+
+    def test_non_neighbor_send_rejected(self):
+        class Bad(NodeProgram):
+            def start(self, ctx):
+                if ctx.node == 0:
+                    return {3: "hi"}  # not adjacent in a path graph
+                return {}
+
+        network = CongestNetwork(nx.path_graph(4))
+        with pytest.raises(ValueError):
+            network.run(lambda: Bad())
+
+    def test_oversized_message_rejected(self):
+        class Chatty(NodeProgram):
+            def start(self, ctx):
+                return {nbr: "x" * 10_000 for nbr in ctx.neighbors}
+
+        network = CongestNetwork(nx.path_graph(4))
+        with pytest.raises(MessageTooLarge):
+            network.run(lambda: Chatty())
+
+    def test_message_size_enforcement_can_be_disabled(self):
+        class Chatty(NodeProgram):
+            def start(self, ctx):
+                ctx.state["done"] = True
+                return {nbr: "x" * 10_000 for nbr in ctx.neighbors}
+
+        network = CongestNetwork(nx.path_graph(3), enforce_message_size=False)
+        network.run(lambda: Chatty())
+        assert network.max_message_bits_seen >= 80_000
+
+    def test_messages_delivered_next_round(self):
+        log = []
+
+        class PingPong(NodeProgram):
+            def start(self, ctx):
+                if ctx.node == 0:
+                    return {1: "ping"}
+                return {}
+
+            def round(self, ctx, received):
+                log.append((ctx.node, dict(received)))
+                ctx.state["done"] = True
+                return {}
+
+        network = CongestNetwork(nx.path_graph(2))
+        network.run(lambda: PingPong())
+        assert (1, {0: "ping"}) in log
+
+    def test_quiescence_terminates(self):
+        class Silent(NodeProgram):
+            pass
+
+        network = CongestNetwork(nx.path_graph(5))
+        network.run(lambda: Silent())
+        assert network.rounds_executed <= 2
+
+    def test_node_context_knowledge(self):
+        captured = {}
+
+        class Introspect(NodeProgram):
+            def start(self, ctx):
+                captured[ctx.node] = (list(ctx.neighbors), ctx.n)
+                ctx.state["done"] = True
+                return {}
+
+        graph = random_connected_gnm(8, 14, seed=1)
+        CongestNetwork(graph).run(lambda: Introspect())
+        for node, (neighbors, n) in captured.items():
+            assert set(neighbors) == set(graph.neighbors(node))
+            assert n == 8
+
+
+class TestBFS:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_depths_are_shortest_paths(self, seed):
+        graph = random_connected_gnm(25, 55, seed=seed)
+        network = CongestNetwork(graph)
+        tree = bfs_tree(network, 0)
+        expected = nx.single_source_shortest_path_length(graph, 0)
+        for node in graph.nodes():
+            assert tree[node]["depth"] == expected[node]
+
+    def test_parents_are_closer(self):
+        graph = grid_graph(5, 5, seed=1)
+        network = CongestNetwork(graph)
+        tree = bfs_tree(network, 0)
+        for node, info in tree.items():
+            if info["parent"] is not None:
+                assert tree[info["parent"]]["depth"] == info["depth"] - 1
+
+    def test_round_count_close_to_eccentricity(self):
+        graph = cycle_graph(30, seed=0)
+        network = CongestNetwork(graph)
+        bfs_tree(network, 0)
+        ecc = nx.eccentricity(graph, 0)
+        assert ecc <= network.rounds_executed <= ecc + 3
+
+
+class TestBroadcastAndGather:
+    def test_broadcast_reaches_everyone(self):
+        graph = random_connected_gnm(20, 45, seed=2)
+        network = CongestNetwork(graph)
+        values = broadcast(network, 5, "payload")
+        assert all(v == "payload" for v in values.values())
+
+    def test_broadcast_rounds_bounded_by_diameter(self):
+        graph = grid_graph(6, 6, seed=3)
+        network = CongestNetwork(graph)
+        broadcast(network, 0, 1)
+        assert network.rounds_executed <= nx.diameter(graph) + 3
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_convergecast_sums(self, seed):
+        graph = random_connected_gnm(18, 40, seed=seed)
+        network = CongestNetwork(graph)
+        inputs = {v: v * v for v in graph.nodes()}
+        total = convergecast_sum(network, 0, inputs)
+        assert total == sum(inputs.values())
+
+
+class TestLeaderElection:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_elects_minimum(self, seed):
+        graph = random_connected_gnm(22, 50, seed=seed)
+        network = CongestNetwork(graph)
+        assert leader_election(network) == 0
+
+    def test_on_cycle(self):
+        network = CongestNetwork(cycle_graph(17, seed=1))
+        assert leader_election(network) == 0

@@ -1,0 +1,184 @@
+"""Cut/cover values: Facts 5-6, cut partitions, the exact oracle."""
+
+import random
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.cut_values import (
+    CutCandidate,
+    best_candidate,
+    cover_values,
+    cut_matrix,
+    cut_partition,
+    pair_cover_matrix,
+    partition_cut_weight,
+    two_respecting_oracle,
+)
+from repro.graphs import random_connected_gnm, random_spanning_tree
+from repro.trees.rooted import RootedTree
+from tests.conftest import graph_tree_cases
+
+
+def cases():
+    return graph_tree_cases()
+
+
+class TestCoverValues:
+    @pytest.mark.parametrize("name,graph,tree", cases())
+    def test_cov_equals_matrix_diagonal(self, name, graph, tree):
+        cov = cover_values(graph, tree)
+        edges, matrix = pair_cover_matrix(graph, tree)
+        for index, edge in enumerate(edges):
+            assert abs(cov[edge] - matrix[index, index]) < 1e-9
+
+    @pytest.mark.parametrize("name,graph,tree", cases()[:3])
+    def test_pair_cover_symmetric(self, name, graph, tree):
+        _edges, matrix = pair_cover_matrix(graph, tree)
+        assert np.allclose(matrix, matrix.T)
+
+    @pytest.mark.parametrize("name,graph,tree", cases()[:3])
+    def test_pair_cover_bounded_by_singles(self, name, graph, tree):
+        """Cov(e,f) <= min(Cov(e), Cov(f)): covering both covers each."""
+        _edges, matrix = pair_cover_matrix(graph, tree)
+        diag = np.diag(matrix)
+        assert np.all(matrix <= np.minimum.outer(diag, diag) + 1e-9)
+
+    def test_cov_of_tree_edge_includes_itself(self):
+        """Each tree edge covers itself, so Cov(e) >= w(e)."""
+        graph = random_connected_gnm(20, 45, seed=5)
+        tree = RootedTree(random_spanning_tree(graph, seed=6), 0)
+        cov = cover_values(graph, tree)
+        for edge in tree.edges():
+            assert cov[edge] >= graph[edge[0]][edge[1]]["weight"]
+
+
+class TestFact5:
+    @pytest.mark.parametrize("name,graph,tree", cases())
+    def test_cut_identity(self, name, graph, tree):
+        """Cut(e,f) = Cov(e) + Cov(f) - 2 Cov(e,f); Cut(e) = Cov(e)."""
+        edges, cuts = cut_matrix(graph, tree)
+        _same, covs = pair_cover_matrix(graph, tree)
+        diag = np.diag(covs)
+        for i in range(len(edges)):
+            assert abs(cuts[i, i] - diag[i]) < 1e-9
+            for j in range(i + 1, len(edges)):
+                want = diag[i] + diag[j] - 2 * covs[i, j]
+                assert abs(cuts[i, j] - want) < 1e-9
+
+
+class TestCutPartition:
+    """The key identity: the cut value equals the weight of the bipartition
+    the pair of tree edges determines -- for every pair shape."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_pair_cut_value_equals_partition_weight(self, seed):
+        graph = random_connected_gnm(18, 40, seed=seed)
+        tree = RootedTree(random_spanning_tree(graph, seed=seed + 9), 0)
+        edges, cuts = cut_matrix(graph, tree)
+        rng = random.Random(seed)
+        indices = list(range(len(edges)))
+        for _ in range(25):
+            i, j = rng.sample(indices, 2)
+            side = cut_partition(tree, (edges[i], edges[j]))
+            value, _crossing = partition_cut_weight(graph, side)
+            assert abs(value - cuts[i, j]) < 1e-9, (edges[i], edges[j])
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_single_cut_value_equals_partition_weight(self, seed):
+        graph = random_connected_gnm(16, 35, seed=seed + 40)
+        tree = RootedTree(random_spanning_tree(graph, seed=seed), 0)
+        cov = cover_values(graph, tree)
+        for edge in tree.edges():
+            side = cut_partition(tree, (edge,))
+            value, _ = partition_cut_weight(graph, side)
+            assert abs(value - cov[edge]) < 1e-9
+
+    def test_nested_pair_middle_component(self):
+        tree = RootedTree(nx.path_graph(6), 0)
+        e = tree.edge_of(2)  # (1,2)
+        f = tree.edge_of(4)  # (3,4)
+        side = cut_partition(tree, (e, f))
+        assert side == frozenset({2, 3})
+
+    def test_independent_pair_root_component(self):
+        graph = nx.star_graph(4)
+        tree = RootedTree(graph, 0)
+        e = tree.edge_of(1)
+        f = tree.edge_of(2)
+        side = cut_partition(tree, (e, f))
+        assert side == frozenset({0, 3, 4})
+
+    def test_wrong_arity_rejected(self):
+        tree = RootedTree(nx.path_graph(4), 0)
+        with pytest.raises(ValueError):
+            cut_partition(tree, (tree.edge_of(1), tree.edge_of(2), tree.edge_of(3)))
+
+
+class TestFact6:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_majority_cover_property(self, seed):
+        """If Cut(e,f) beats every 1-respecting cut, Cov(e,f) > Cov(e)/2."""
+        graph = random_connected_gnm(20, 50, seed=seed + 60)
+        tree = RootedTree(random_spanning_tree(graph, seed=seed), 0)
+        edges, cuts = pair_cover_matrix(graph, tree)
+        _same, covs = pair_cover_matrix(graph, tree)
+        _e2, cutm = cut_matrix(graph, tree)
+        one_min = min(np.diag(cutm))
+        n = len(edges)
+        for i in range(n):
+            for j in range(n):
+                if i != j and cutm[i, j] < one_min - 1e-9:
+                    assert covs[i, j] > covs[i, i] / 2 - 1e-9
+                    assert covs[i, j] > covs[j, j] / 2 - 1e-9
+
+
+class TestOracle:
+    @pytest.mark.parametrize("name,graph,tree", cases())
+    def test_oracle_value_is_global_matrix_min(self, name, graph, tree):
+        candidate = two_respecting_oracle(graph, tree)
+        _edges, cuts = cut_matrix(graph, tree)
+        assert abs(candidate.value - cuts.min()) < 1e-9
+
+    @pytest.mark.parametrize("name,graph,tree", cases()[:4])
+    def test_oracle_witness_consistent(self, name, graph, tree):
+        candidate = two_respecting_oracle(graph, tree)
+        side = cut_partition(tree, candidate.edges)
+        value, _ = partition_cut_weight(graph, side)
+        assert abs(value - candidate.value) < 1e-9
+
+    def test_oracle_at_least_min_cut(self):
+        """A 2-respecting cut is a cut: oracle >= global min cut."""
+        graph = random_connected_gnm(20, 50, seed=3)
+        tree = RootedTree(random_spanning_tree(graph, seed=4), 0)
+        candidate = two_respecting_oracle(graph, tree)
+        global_min, _ = nx.stoer_wagner(graph)
+        assert candidate.value >= global_min - 1e-9
+
+    def test_empty_tree_rejected(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        tree = RootedTree(graph, 0)
+        with pytest.raises(ValueError):
+            two_respecting_oracle(graph, tree)
+
+
+class TestCandidates:
+    def test_best_candidate_min_value(self):
+        a = CutCandidate(5.0, (("x", "y"),))
+        b = CutCandidate(3.0, (("p", "q"), ("r", "s")))
+        assert best_candidate([a, None, b]) == b
+
+    def test_tie_prefers_fewer_edges(self):
+        one = CutCandidate(3.0, (("a", "b"),))
+        two = CutCandidate(3.0, (("a", "b"), ("c", "d")))
+        assert best_candidate([two, one]) == one
+
+    def test_kind_labels(self):
+        assert CutCandidate(1.0, (("a", "b"),)).kind == "1-respecting"
+        assert CutCandidate(1.0, (("a", "b"), ("c", "d"))).kind == "2-respecting"
+
+    def test_empty_candidates(self):
+        assert best_candidate([]) is None
+        assert best_candidate([None, None]) is None

@@ -1,0 +1,80 @@
+"""Determinism: the paper's third contribution is a *deterministic*
+2-respecting solver.  Everything downstream of the (randomized) tree packing
+must be bit-for-bit reproducible across runs, and the packing itself must be
+reproducible per seed."""
+
+import pytest
+
+import repro
+from repro.core.general import two_respecting_min_cut
+from repro.core.one_respecting import one_respecting_cuts
+from repro.core.cut_values import two_respecting_oracle
+from repro.graphs import random_connected_gnm, random_spanning_tree
+from repro.ma.engine import MinorAggregationEngine
+from repro.trees.hld import HeavyLightDecomposition
+from repro.trees.rooted import RootedTree
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_two_respecting_solver_deterministic(seed):
+    graph = random_connected_gnm(28, 65, seed=seed + 500)
+    tree = RootedTree(random_spanning_tree(graph, seed=seed), 0)
+    first = two_respecting_min_cut(graph, tree)
+    second = two_respecting_min_cut(graph, tree)
+    assert first.best.value == second.best.value
+    assert first.best.edges == second.best.edges
+    assert first.ma_rounds == second.ma_rounds
+    assert first.stats.instances == second.stats.instances
+
+
+def test_one_respecting_deterministic():
+    graph = random_connected_gnm(25, 55, seed=7)
+    tree = RootedTree(random_spanning_tree(graph, seed=8), 0)
+    runs = [
+        one_respecting_cuts(graph, tree, engine=MinorAggregationEngine(graph))
+        for _ in range(2)
+    ]
+    assert runs[0] == runs[1]
+
+
+def test_hld_deterministic():
+    graph = random_connected_gnm(40, 90, seed=9)
+    tree = RootedTree(random_spanning_tree(graph, seed=10), 0)
+    a = HeavyLightDecomposition(tree)
+    b = HeavyLightDecomposition(tree)
+    assert a.heavy_child == b.heavy_child
+    assert a.hl_depth == b.hl_depth
+
+
+def test_minimum_cut_deterministic_per_seed():
+    graph = random_connected_gnm(22, 50, seed=11)
+    first = repro.minimum_cut(graph, seed=4)
+    second = repro.minimum_cut(graph, seed=4)
+    assert first.value == second.value
+    assert first.partition == second.partition
+    assert first.cut_edges == second.cut_edges
+    assert first.best_tree_index == second.best_tree_index
+
+
+def test_value_independent_of_packing_seed():
+    """Different seeds explore different packings but the *value* is exact
+    and therefore seed-independent."""
+    graph = random_connected_gnm(24, 55, seed=12)
+    values = {repro.minimum_cut(graph, seed=s).value for s in range(4)}
+    assert len(values) == 1
+
+
+def test_value_independent_of_tree_and_root():
+    """The 2-respecting minimum depends on (G, T) -- but min over packed
+    trees is the min cut regardless of which valid witness tree is used."""
+    graph = random_connected_gnm(20, 46, seed=13)
+    tree = random_spanning_tree(graph, seed=14)
+    by_root = set()
+    for root in list(graph.nodes())[:5]:
+        rooted = RootedTree(tree, root)
+        by_root.add(two_respecting_oracle(graph, rooted).value)
+    # Cut values are root-independent (Section 3.2).
+    assert len(by_root) == 1
+    rooted = RootedTree(tree, 0)
+    solver_value = two_respecting_min_cut(graph, rooted).best.value
+    assert solver_value == by_root.pop()

@@ -1,0 +1,75 @@
+"""Property-based end-to-end checks (hypothesis): the whole pipeline equals
+the centralized ground truth on arbitrary small weighted graphs."""
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro
+from repro.core.cut_values import (
+    cut_partition,
+    partition_cut_weight,
+    two_respecting_oracle,
+)
+from repro.core.general import two_respecting_min_cut
+from repro.graphs import random_connected_gnm, random_spanning_tree
+from repro.trees.rooted import RootedTree
+
+
+@st.composite
+def small_weighted_graph(draw):
+    n = draw(st.integers(min_value=3, max_value=16))
+    max_extra = n * (n - 1) // 2 - (n - 1)
+    extra = draw(st.integers(min_value=0, max_value=min(max_extra, 20)))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    wmax = draw(st.sampled_from([1, 3, 10, 100]))
+    return random_connected_gnm(n, n - 1 + extra, seed=seed, weight_high=wmax)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(small_weighted_graph())
+def test_minimum_cut_matches_stoer_wagner(graph):
+    expected, _cut = nx.stoer_wagner(graph)
+    result = repro.minimum_cut(graph, seed=0)
+    assert result.value == pytest.approx(expected)
+    # Witness validity.
+    weight = sum(graph[u][v]["weight"] for u, v in result.cut_edges)
+    assert weight == pytest.approx(result.value)
+    probe = graph.copy()
+    probe.remove_edges_from(result.cut_edges)
+    assert not nx.is_connected(probe)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(small_weighted_graph(), st.integers(min_value=0, max_value=1000))
+def test_two_respecting_solver_matches_oracle(graph, tree_seed):
+    tree = RootedTree(random_spanning_tree(graph, seed=tree_seed), 0)
+    oracle = two_respecting_oracle(graph, tree)
+    result = two_respecting_min_cut(graph, tree)
+    assert result.best.value == pytest.approx(oracle.value)
+    # The witness is a real cut of the claimed weight.
+    side = cut_partition(tree, result.best.edges)
+    value, _ = partition_cut_weight(graph, side)
+    assert value == pytest.approx(result.best.value)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(small_weighted_graph())
+def test_min_cut_lower_bounds_every_respecting_cut(graph):
+    """Any 1-/2-respecting cut of any spanning tree upper-bounds the min cut."""
+    expected, _ = nx.stoer_wagner(graph)
+    tree = RootedTree(random_spanning_tree(graph, seed=1), 0)
+    oracle = two_respecting_oracle(graph, tree)
+    assert oracle.value >= expected - 1e-9

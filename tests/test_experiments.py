@@ -1,0 +1,63 @@
+"""Every experiment module reproduces its claim in quick mode.
+
+This is the regression net for EXPERIMENTS.md: if an algorithm change breaks
+a paper claim (exactness, a structural invariant, or a round-count shape),
+the corresponding experiment flips to DEVIATION and fails here.
+"""
+
+import importlib
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.common import ExperimentResult, format_table, growth_ratio
+
+
+@pytest.mark.parametrize("name", ALL_EXPERIMENTS)
+def test_experiment_reproduces(name):
+    module = importlib.import_module(f"repro.experiments.{name}")
+    result = module.run(quick=True)
+    assert isinstance(result, ExperimentResult)
+    assert result.rows, f"{name} produced no measurements"
+    assert result.paper_claim and result.observed
+    assert result.holds, f"{name}: {result.observed}"
+
+
+def test_registry_complete():
+    assert len(ALL_EXPERIMENTS) == 15
+    assert len(set(ALL_EXPERIMENTS)) == 15
+    for name in ALL_EXPERIMENTS:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        assert callable(module.run)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "bb": "x"}, {"a": 22222, "bb": None}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_numbers(self):
+        rows = [{"v": 1234567.0, "f": 1.25, "b": True}]
+        text = format_table(rows)
+        assert "1,234,567" in text
+        assert "1.25" in text
+        assert "yes" in text
+
+    def test_growth_ratio(self):
+        assert growth_ratio([2.0, 8.0]) == 4.0
+        assert growth_ratio([]) == float("inf")
+
+    def test_summary_contains_verdict(self):
+        result = ExperimentResult(
+            experiment="X", paper_claim="c", rows=[{"a": 1}],
+            observed="o", holds=True,
+        )
+        assert "REPRODUCED" in result.summary()
+        result.holds = False
+        assert "DEVIATION" in result.summary()

@@ -1,0 +1,179 @@
+"""Graph families: connectivity, weight model, planarity, planted cuts."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    assign_random_weights,
+    barbell_graph,
+    cycle_graph,
+    delaunay_planar_graph,
+    expander_graph,
+    grid_graph,
+    planted_cut_graph,
+    random_connected_gnm,
+    random_spanning_tree,
+    tree_plus_chords,
+    triangulated_grid_graph,
+)
+
+ALL_GENERATORS = [
+    lambda: random_connected_gnm(30, 70, seed=1),
+    lambda: cycle_graph(20, seed=2),
+    lambda: grid_graph(5, 6, seed=3),
+    lambda: triangulated_grid_graph(4, 5, seed=4),
+    lambda: delaunay_planar_graph(25, seed=5),
+    lambda: expander_graph(24, degree=4, seed=6),
+    lambda: barbell_graph(5, 8, seed=7),
+    lambda: tree_plus_chords(25, 6, seed=8),
+    lambda: planted_cut_graph(10, 12, seed=9),
+]
+
+
+@pytest.mark.parametrize("make", ALL_GENERATORS)
+def test_connected(make):
+    graph = make()
+    assert nx.is_connected(graph)
+
+
+@pytest.mark.parametrize("make", ALL_GENERATORS)
+def test_weights_positive_integers(make):
+    graph = make()
+    n = graph.number_of_nodes()
+    for _u, _v, data in graph.edges(data=True):
+        assert isinstance(data["weight"], int)
+        assert 1 <= data["weight"] <= max(1, n ** 2) * 200
+
+
+@pytest.mark.parametrize("make", ALL_GENERATORS)
+def test_no_self_loops(make):
+    graph = make()
+    assert all(u != v for u, v in graph.edges())
+
+
+def test_gnm_edge_count_respected():
+    graph = random_connected_gnm(20, 50, seed=0)
+    assert graph.number_of_edges() == 50
+    assert graph.number_of_nodes() == 20
+
+
+def test_gnm_minimum_is_tree():
+    graph = random_connected_gnm(15, 1, seed=0)
+    assert graph.number_of_edges() == 14
+    assert nx.is_tree(graph)
+
+
+def test_gnm_caps_at_complete_graph():
+    graph = random_connected_gnm(6, 1000, seed=0)
+    assert graph.number_of_edges() == 15
+
+
+def test_gnm_rejects_tiny():
+    with pytest.raises(ValueError):
+        random_connected_gnm(1, 5)
+
+
+def test_gnm_deterministic_per_seed():
+    a = random_connected_gnm(20, 45, seed=3)
+    b = random_connected_gnm(20, 45, seed=3)
+    assert sorted(a.edges(data="weight")) == sorted(b.edges(data="weight"))
+    c = random_connected_gnm(20, 45, seed=4)
+    assert sorted(a.edges(data="weight")) != sorted(c.edges(data="weight"))
+
+
+@pytest.mark.parametrize("rows,cols", [(3, 3), (5, 6), (2, 9)])
+def test_grid_is_planar(rows, cols):
+    graph = grid_graph(rows, cols, seed=0)
+    assert graph.number_of_nodes() == rows * cols
+    assert nx.check_planarity(graph)[0]
+
+
+def test_triangulated_grid_is_planar():
+    graph = triangulated_grid_graph(5, 5, seed=0)
+    assert nx.check_planarity(graph)[0]
+
+
+def test_delaunay_is_planar():
+    graph = delaunay_planar_graph(40, seed=1)
+    assert nx.check_planarity(graph)[0]
+
+
+def test_cycle_has_linear_diameter():
+    graph = cycle_graph(30, seed=0)
+    assert nx.diameter(graph) == 15
+
+
+def test_expander_is_regular():
+    graph = expander_graph(20, degree=4, seed=0)
+    assert all(d == 4 for _v, d in graph.degree())
+
+
+def test_barbell_diameter_dominated_by_path():
+    graph = barbell_graph(4, 12, seed=0)
+    assert nx.diameter(graph) >= 12
+
+
+def test_tree_plus_chords_edge_count():
+    graph = tree_plus_chords(20, 7, seed=0)
+    assert graph.number_of_edges() == 19 + 7
+
+
+class TestPlantedCut:
+    def test_planted_value_recorded(self):
+        graph = planted_cut_graph(12, 15, cross_edges=4, cross_weight=3, seed=2)
+        left, _right = graph.graph["planted_partition"]
+        crossing = sum(
+            d["weight"] for u, v, d in graph.edges(data=True)
+            if (u in left) != (v in left)
+        )
+        assert graph.graph["planted_cut_value"] == crossing
+
+    def test_planted_cut_is_the_minimum(self):
+        graph = planted_cut_graph(10, 10, cross_edges=3, cross_weight=1, seed=0)
+        value, _ = nx.stoer_wagner(graph)
+        assert value == graph.graph["planted_cut_value"]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_planted_cut_min_across_seeds(self, seed):
+        graph = planted_cut_graph(8, 12, cross_edges=2, cross_weight=2, seed=seed)
+        value, _ = nx.stoer_wagner(graph)
+        assert value == graph.graph["planted_cut_value"]
+
+    def test_no_single_node_undercuts(self):
+        graph = planted_cut_graph(9, 9, cross_edges=3, cross_weight=5, seed=1)
+        planted = graph.graph["planted_cut_value"]
+        for node in graph.nodes():
+            degree_weight = sum(
+                d["weight"] for _u, _v, d in graph.edges(node, data=True)
+            )
+            assert degree_weight > planted
+
+
+class TestSpanningTree:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_spanning_tree_is_spanning(self, seed):
+        graph = random_connected_gnm(25, 60, seed=seed)
+        tree = random_spanning_tree(graph, seed=seed)
+        assert nx.is_tree(tree)
+        assert set(tree.nodes()) == set(graph.nodes())
+        assert all(graph.has_edge(u, v) for u, v in tree.edges())
+
+    def test_tree_edges_carry_graph_weights(self):
+        graph = random_connected_gnm(15, 30, seed=1)
+        tree = random_spanning_tree(graph, seed=2)
+        for u, v, data in tree.edges(data=True):
+            assert data["weight"] == graph[u][v]["weight"]
+
+    def test_different_seeds_give_different_trees(self):
+        graph = random_connected_gnm(30, 120, seed=1)
+        t1 = random_spanning_tree(graph, seed=1)
+        t2 = random_spanning_tree(graph, seed=2)
+        assert set(map(frozenset, t1.edges())) != set(map(frozenset, t2.edges()))
+
+
+def test_assign_random_weights_range():
+    import random as _random
+
+    graph = nx.path_graph(10)
+    assign_random_weights(graph, _random.Random(0), low=5, high=9)
+    assert all(5 <= d["weight"] <= 9 for *_e, d in graph.edges(data=True))

@@ -1,0 +1,167 @@
+"""Heavy-light decomposition: Definition 2, Facts 3-4, HL-paths, HL-infos."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trees.hld import HeavyLightDecomposition, lca_from_hl_info
+from repro.trees.rooted import RootedTree, edge_key
+from tests.conftest import random_tree
+
+
+def hld_of(n: int, seed: int):
+    tree = random_tree(n, seed)
+    return tree, HeavyLightDecomposition(tree)
+
+
+class TestLabels:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_heavy_child_maximizes_subtree(self, seed):
+        tree, hld = hld_of(60, seed)
+        sizes = tree.subtree_sizes()
+        for node, heavy in hld.heavy_child.items():
+            assert sizes[heavy] == max(sizes[c] for c in tree.children[node])
+
+    def test_exactly_one_heavy_child_per_internal_node(self):
+        tree, hld = hld_of(50, 1)
+        for node in tree.order:
+            kids = tree.children[node]
+            heavy = [c for c in kids if hld.is_heavy_child(node, c)]
+            assert len(heavy) == (1 if kids else 0)
+
+    def test_root_depth_zero(self):
+        tree, hld = hld_of(30, 2)
+        assert hld.hl_depth[tree.root] == 0
+
+    def test_depth_increments_only_on_light(self):
+        tree, hld = hld_of(60, 3)
+        for node in tree.order:
+            if node == tree.root:
+                continue
+            parent = tree.parent[node]
+            delta = hld.hl_depth[node] - hld.hl_depth[parent]
+            if hld.is_heavy_child(parent, node):
+                assert delta == 0
+            else:
+                assert delta == 1
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_fact3_log_light_edges(self, seed):
+        """Fact 3: every root-to-leaf path has O(log n) light edges."""
+        tree, hld = hld_of(200, seed)
+        bound = math.floor(math.log2(len(tree))) + 1
+        assert max(hld.hl_depth.values()) <= bound
+
+    def test_path_tree_has_single_hl_path(self):
+        tree = RootedTree(nx.path_graph(12), 0)
+        hld = HeavyLightDecomposition(tree)
+        paths = hld.hl_paths()
+        assert len(paths) == 1
+        assert paths[0].depth == 0
+        assert len(paths[0].nodes) == 11  # root excluded (it is the anchor)
+
+    def test_star_tree_paths(self):
+        tree = RootedTree(nx.star_graph(6), 0)
+        hld = HeavyLightDecomposition(tree)
+        paths = hld.hl_paths()
+        assert len(paths) == 6  # one heavy chain + 5 light leaves
+        assert sum(1 for p in paths if p.depth == 0) == 1
+        assert sum(1 for p in paths if p.depth == 1) == 5
+
+
+class TestHLPaths:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_paths_partition_edges(self, seed):
+        tree, hld = hld_of(80, seed)
+        all_edges = set(tree.edges())
+        covered = []
+        for path in hld.hl_paths():
+            covered.extend(path.edges)
+        assert sorted(map(str, covered)) == sorted(map(str, all_edges))
+        assert len(covered) == len(all_edges)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_each_path_ends_at_leaf(self, seed):
+        tree, hld = hld_of(70, seed)
+        for path in hld.hl_paths():
+            assert not tree.children[path.nodes[-1]]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_paths_are_descending(self, seed):
+        tree, hld = hld_of(70, seed)
+        for path in hld.hl_paths():
+            chain = [path.anchor] + path.nodes
+            for parent, child in zip(chain, chain[1:]):
+                assert tree.parent[child] == parent
+
+    def test_path_edge_depths_uniform(self):
+        tree, hld = hld_of(90, 5)
+        for path in hld.hl_paths():
+            for edge in path.edges:
+                assert hld.edge_hl_depth(edge) == path.depth
+
+    def test_same_depth_paths_never_nested(self):
+        """The structural fact the between-subtree reduction relies on."""
+        tree, hld = hld_of(120, 6)
+        for depth in range(hld.max_hl_depth() + 1):
+            paths = hld.hl_paths_at_depth(depth)
+            for i, p in enumerate(paths):
+                for q in paths[i + 1 :]:
+                    # No node of q may be a descendant of p's top node.
+                    top = p.nodes[0]
+                    assert not any(
+                        tree.is_ancestor(top, node) for node in q.nodes
+                    )
+
+
+class TestHLInfo:
+    def test_info_depth_matches(self):
+        tree, hld = hld_of(40, 7)
+        for node in tree.order:
+            assert hld.hl_info(node).depth == tree.depth[node]
+
+    def test_info_light_edges_on_root_path(self):
+        tree, hld = hld_of(60, 8)
+        for node in tree.order:
+            info = hld.hl_info(node)
+            chain = list(tree.ancestors(node))
+            for record in info.light_edges:
+                assert record.bottom_id in chain
+                assert tree.parent[record.bottom_id] == record.top_id
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_fact4_lca_from_hl_info(self, seed):
+        """Fact 4: the LCA is computable from two HL-infos alone."""
+        tree, hld = hld_of(90, seed)
+        rng = random.Random(seed)
+        nodes = list(tree.order)
+        for _ in range(150):
+            u, v = rng.choice(nodes), rng.choice(nodes)
+            got_id, got_depth = lca_from_hl_info(hld.hl_info(u), hld.hl_info(v))
+            want = tree.lca(u, v)
+            assert got_id == want
+            assert got_depth == tree.depth[want]
+
+    def test_fact4_on_ancestor_pairs(self):
+        tree, hld = hld_of(50, 9)
+        for node in tree.order:
+            for anc in tree.ancestors(node):
+                got_id, _d = lca_from_hl_info(hld.hl_info(node), hld.hl_info(anc))
+                assert got_id == anc
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=2, max_value=120), st.integers(min_value=0, max_value=10_000))
+def test_fact4_property(n, seed):
+    """Property: LCA-from-labels agrees with the direct LCA on random trees."""
+    tree = random_tree(n, seed)
+    hld = HeavyLightDecomposition(tree)
+    rng = random.Random(seed)
+    nodes = list(tree.order)
+    for _ in range(10):
+        u, v = rng.choice(nodes), rng.choice(nodes)
+        got_id, _ = lca_from_hl_info(hld.hl_info(u), hld.hl_info(v))
+        assert got_id == tree.lca(u, v)

@@ -1,0 +1,221 @@
+"""The Minor-Aggregation engine: Definition 9 semantics, Corollaries 10-11."""
+
+import networkx as nx
+import pytest
+
+from repro.accounting import RoundAccountant
+from repro.graphs import random_connected_gnm
+from repro.ma.engine import MinorAggregationEngine
+from repro.ma.operators import FIRST, MAX, MIN, OR, SUM
+from repro.trees.rooted import edge_key
+
+
+def line(n: int) -> nx.Graph:
+    graph = nx.path_graph(n)
+    for u, v in graph.edges():
+        graph[u][v]["weight"] = 1
+    return graph
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MinorAggregationEngine(nx.Graph())
+
+    def test_rejects_disconnected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        graph.add_node(2)
+        with pytest.raises(ValueError):
+            MinorAggregationEngine(graph)
+
+    def test_rounds_are_charged(self):
+        acct = RoundAccountant()
+        engine = MinorAggregationEngine(line(4), accountant=acct)
+        engine.round()
+        engine.round()
+        assert engine.rounds_executed == 2
+        assert acct.total == 2.0
+
+
+class TestContraction:
+    def test_no_contraction_gives_singletons(self):
+        engine = MinorAggregationEngine(line(5))
+        result = engine.round()
+        assert all(result.supernode[v] == v for v in range(5))
+
+    def test_full_contraction_single_supernode(self):
+        engine = MinorAggregationEngine(line(5))
+        result = engine.round(contract={(i, i + 1) for i in range(4)})
+        assert len(set(result.supernode.values())) == 1
+
+    def test_supernode_id_is_min_member(self):
+        engine = MinorAggregationEngine(line(5))
+        result = engine.round(contract={(2, 3), (3, 4)})
+        assert result.supernode[4] == 2
+        assert result.supernode[3] == 2
+        assert result.supernode[0] == 0
+
+    def test_contract_predicate_form(self):
+        engine = MinorAggregationEngine(line(6))
+        result = engine.round(contract=lambda e: e[0] % 2 == 0)
+        # edges (0,1), (2,3), (4,5) contracted -> supernodes {0,1},{2,3},{4,5}
+        assert result.supernode[1] == 0
+        assert result.supernode[3] == 2
+        assert result.supernode[5] == 4
+
+
+class TestConsensus:
+    def test_consensus_folds_members(self):
+        engine = MinorAggregationEngine(line(4))
+        result = engine.round(
+            contract={(0, 1), (2, 3)},
+            node_input={0: 1, 1: 2, 2: 10, 3: 20},
+            consensus_op=SUM,
+        )
+        assert result.consensus[0] == 3
+        assert result.consensus[1] == 3
+        assert result.consensus[2] == 30
+
+    def test_consensus_or_detects_membership(self):
+        engine = MinorAggregationEngine(line(5))
+        result = engine.round(
+            contract={(0, 1), (1, 2)},
+            node_input={2: True},
+            consensus_op=OR,
+        )
+        assert result.consensus[0] is True
+        assert result.consensus[4] is False
+
+    def test_callable_node_input(self):
+        engine = MinorAggregationEngine(line(3))
+        result = engine.round(
+            contract=set(), node_input=lambda v: v * 10, consensus_op=SUM
+        )
+        assert result.consensus[2] == 20
+
+
+class TestAggregation:
+    def test_minor_edges_only(self):
+        """Self-loops of the contracted minor are removed (Definition 9)."""
+        engine = MinorAggregationEngine(line(4))
+        seen = []
+
+        def edge_message(edge, u, v, yu, yv):
+            seen.append(edge)
+            return (1, 1)
+
+        engine.round(
+            contract={(0, 1)},
+            edge_message=edge_message,
+            aggregate_op=SUM,
+        )
+        assert edge_key(0, 1) not in seen
+        assert edge_key(1, 2) in seen
+
+    def test_aggregate_reaches_all_members(self):
+        engine = MinorAggregationEngine(line(4))
+        result = engine.round(
+            contract={(1, 2)},
+            edge_message=lambda e, u, v, yu, yv: (1, 1),
+            aggregate_op=SUM,
+        )
+        # Supernode {1,2} has two incident minor edges.
+        assert result.aggregate[1] == 2
+        assert result.aggregate[2] == 2
+        assert result.aggregate[0] == 1
+
+    def test_directional_edge_values(self):
+        engine = MinorAggregationEngine(line(3))
+        result = engine.round(
+            edge_message=lambda e, u, v, yu, yv: (min(u, v), max(u, v)),
+            aggregate_op=SUM,
+        )
+        # Node 1 receives: from edge (0,1) the value for the 1-side (=1),
+        # and from edge (1,2) the value for the 1-side (=1).
+        assert result.aggregate[1] == 2
+
+    def test_edges_see_consensus_values(self):
+        engine = MinorAggregationEngine(line(3))
+        captured = {}
+
+        def edge_message(edge, u, v, yu, yv):
+            captured[edge] = (yu, yv)
+            return (None, None)
+
+        engine.round(
+            node_input={0: "a", 1: "b", 2: "c"},
+            consensus_op=FIRST,
+            edge_message=edge_message,
+            aggregate_op=FIRST,
+        )
+        assert captured[edge_key(0, 1)] == ("a", "b")
+
+    def test_min_aggregation_with_identity_nodes(self):
+        """Nodes with no incident minor edges read the identity."""
+        graph = line(3)
+        engine = MinorAggregationEngine(graph)
+        result = engine.round(
+            contract={(0, 1), (1, 2)},
+            edge_message=lambda e, u, v, yu, yv: (0, 0),
+            aggregate_op=MIN,
+        )
+        assert result.aggregate[0] is None  # single supernode: no minor edges
+
+
+class TestConvenience:
+    def test_broadcast_returns_global_fold(self):
+        engine = MinorAggregationEngine(random_connected_gnm(12, 20, seed=1))
+        total = engine.broadcast({v: 1 for v in engine.graph.nodes()}, SUM)
+        assert total == 12
+
+    def test_broadcast_min_election(self):
+        engine = MinorAggregationEngine(random_connected_gnm(9, 15, seed=2))
+        winner = engine.broadcast({v: v for v in engine.graph.nodes()}, MIN)
+        assert winner == 0
+
+    def test_neighbor_exchange_degree_count(self):
+        graph = random_connected_gnm(10, 22, seed=3)
+        engine = MinorAggregationEngine(graph)
+        result = engine.neighbor_exchange(
+            {v: None for v in graph.nodes()},
+            lambda e, u, v, yu, yv: (1, 1),
+            SUM,
+        )
+        for node in graph.nodes():
+            assert result.aggregate[node] == graph.degree(node)
+
+
+class TestMinorOperation:
+    """Corollary 10: algorithms run on minors via standing contractions."""
+
+    def test_boruvka_style_minimum_edge_per_component(self):
+        graph = nx.Graph()
+        weights = {(0, 1): 5, (1, 2): 1, (2, 3): 7, (3, 4): 2, (0, 4): 9}
+        for (u, v), w in weights.items():
+            graph.add_edge(u, v, weight=w)
+        engine = MinorAggregationEngine(graph)
+        result = engine.round(
+            contract={(0, 1), (1, 2)},  # component {0,1,2}
+            edge_message=lambda e, u, v, yu, yv: (
+                (graph[e[0]][e[1]]["weight"], e),
+                (graph[e[0]][e[1]]["weight"], e),
+            ),
+            aggregate_op=MIN,
+        )
+        # Minimum outgoing edge of supernode {0,1,2} is (3,4)? No: its
+        # incident minor edges are (2,3) w=7 and (0,4) w=9 -> picks (2,3).
+        assert result.aggregate[0][1] == edge_key(2, 3)
+        # Supernode {3} sees (2,3) w=7 and (3,4) w=2 -> picks (3,4).
+        assert result.aggregate[3][1] == edge_key(3, 4)
+
+    def test_bit_measurement(self):
+        acct = RoundAccountant()
+        engine = MinorAggregationEngine(line(4), accountant=acct, measure_bits=True)
+        engine.round(
+            node_input={v: v for v in range(4)},
+            consensus_op=SUM,
+            edge_message=lambda e, u, v, yu, yv: ("xx", "yy"),
+            aggregate_op=FIRST,
+        )
+        assert acct.max_message_bits >= 16

@@ -1,0 +1,130 @@
+"""Virtual nodes: Definition 13, Theorem 14 overhead, Lemma 15 replacement."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import random_connected_gnm
+from repro.ma.engine import MinorAggregationEngine
+from repro.ma.operators import SUM
+from repro.ma.virtual import VirtualGraph, fresh_virtual_id
+
+
+class TestVirtualGraph:
+    def test_beta_counts_virtual_nodes(self):
+        base = nx.path_graph(4)
+        vg = VirtualGraph(base)
+        assert vg.beta == 0
+        assert vg.overhead_factor == 1
+        vg.add_virtual_node("v1")
+        vg.add_virtual_node("v2")
+        assert vg.beta == 2
+        assert vg.overhead_factor == 3
+
+    def test_fresh_ids_unique(self):
+        ids = {fresh_virtual_id() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_add_existing_node_rejected(self):
+        vg = VirtualGraph(nx.path_graph(3))
+        with pytest.raises(ValueError):
+            vg.add_virtual_node(1)
+
+    def test_virtual_edge_requires_virtual_endpoint(self):
+        vg = VirtualGraph(nx.path_graph(3))
+        with pytest.raises(ValueError):
+            vg.add_virtual_edge(0, 2, weight=1)
+
+    def test_virtual_edge_weights_merge(self):
+        vg = VirtualGraph(nx.path_graph(3))
+        virt = vg.add_virtual_node()
+        vg.add_virtual_edge(virt, 0, weight=2)
+        vg.add_virtual_edge(virt, 0, weight=3)
+        assert vg.graph[virt][0]["weight"] == 5
+
+    def test_real_subgraph_strips_virtuals(self):
+        vg = VirtualGraph(nx.path_graph(4))
+        virt = vg.add_virtual_node()
+        vg.add_virtual_edge(virt, 0, weight=1)
+        real = vg.real_subgraph()
+        assert virt not in real
+        assert set(real.nodes()) == {0, 1, 2, 3}
+
+    def test_real_part_connected_detection(self):
+        base = nx.path_graph(4)
+        vg = VirtualGraph(base)
+        assert vg.real_part_connected()
+        # Virtualize the middle node's role: remove it from the base first.
+        vg2, _virt = VirtualGraph.replace_node_with_virtual(base, 1)
+        # Base minus node 1 leaves {0} and {2,3}: not connected.
+        assert not vg2.real_part_connected()
+
+
+class TestLemma15Replacement:
+    def test_replacement_preserves_neighbors(self):
+        graph = random_connected_gnm(10, 25, seed=1)
+        node = 4
+        vg, virt = VirtualGraph.replace_node_with_virtual(graph, node)
+        old_neighbors = set(graph.neighbors(node))
+        new_neighbors = set(vg.graph.neighbors(virt))
+        assert new_neighbors == old_neighbors
+        assert node not in vg.graph
+
+    def test_replacement_preserves_weights(self):
+        graph = random_connected_gnm(8, 16, seed=2)
+        vg, virt = VirtualGraph.replace_node_with_virtual(graph, 3)
+        for nbr in graph.neighbors(3):
+            assert vg.graph[virt][nbr]["weight"] == graph[3][nbr]["weight"]
+
+    def test_replacement_missing_node(self):
+        with pytest.raises(ValueError):
+            VirtualGraph.replace_node_with_virtual(nx.path_graph(3), 99)
+
+    def test_replacement_beta_is_one(self):
+        graph = random_connected_gnm(8, 14, seed=3)
+        vg, _virt = VirtualGraph.replace_node_with_virtual(graph, 0)
+        assert vg.beta == 1
+
+
+class TestTheorem14Simulation:
+    """Running an algorithm on the virtual graph + charging O(beta+1)."""
+
+    def test_engine_runs_on_virtual_topology(self):
+        graph = random_connected_gnm(12, 24, seed=4)
+        vg = VirtualGraph(graph)
+        source = vg.add_virtual_node()
+        for node in (0, 1, 2):
+            vg.add_virtual_edge(source, node, weight=1)
+        engine = MinorAggregationEngine(vg.graph)
+        total = engine.broadcast(
+            {v: 1 for v in vg.graph.nodes()}, SUM
+        )
+        assert total == 13  # 12 real + 1 virtual
+
+    def test_overhead_accounting_matches_theorem(self):
+        from repro.accounting import RoundAccountant
+
+        graph = random_connected_gnm(10, 20, seed=5)
+        vg = VirtualGraph(graph)
+        for _ in range(3):
+            v = vg.add_virtual_node()
+            vg.add_virtual_edge(v, 0, weight=1)
+        acct = RoundAccountant()
+        engine = MinorAggregationEngine(vg.graph, accountant=acct)
+        with acct.virtual_overhead(vg.beta):
+            engine.round()
+            engine.round()
+        # 2 rounds on the virtual graph cost 2 * (beta + 1) = 8 on G.
+        assert acct.total == 2 * vg.overhead_factor == 8
+
+    def test_multi_source_shortest_path_pattern(self):
+        """The paper's example: a virtual super-source makes multi-source
+        BFS a single-source problem."""
+        graph = nx.path_graph(10)
+        vg = VirtualGraph(graph)
+        source = vg.add_virtual_node()
+        vg.add_virtual_edge(source, 0, weight=1)
+        vg.add_virtual_edge(source, 9, weight=1)
+        dist = nx.single_source_shortest_path_length(vg.graph, source)
+        # Distance from the super-source minus one = multi-source distance.
+        for node in range(10):
+            assert dist[node] - 1 == min(node, 9 - node)

@@ -1,0 +1,93 @@
+"""Õ(1)-bit message discipline: the model's most basic promise, measured.
+
+Every consensus input and edge message in the Minor-Aggregation model must
+fit in Õ(1) = polylog(n) bits (Definition 9).  These tests run the
+engine-genuine algorithms with bit auditing on and assert the measured
+maximum message size stays within an O(log^2 n)-bit budget -- including the
+associative-array deltas of Theorem 18 and the Misra-Gries sketches of
+Lemma 32, the two places where unbounded growth would hide.
+"""
+
+import pytest
+
+from repro.accounting import RoundAccountant, log2ceil
+from repro.core.one_respecting import one_respecting_cuts
+from repro.graphs import random_connected_gnm, random_spanning_tree
+from repro.ma.engine import MinorAggregationEngine
+from repro.ma.operators import SUM, MisraGries, estimate_bits, misra_gries_operator
+from repro.trees.hld import HeavyLightDecomposition
+from repro.trees.rooted import RootedTree
+from repro.trees.sums import path_suffix_sums, subtree_sums
+
+
+def budget(n: int) -> int:
+    return 64 * log2ceil(n) ** 2
+
+
+@pytest.mark.parametrize("n", [30, 60, 120, 240])
+def test_one_respecting_messages_polylog(n):
+    """Theorem 18's HL-info labels and LCA-delta dictionaries stay Õ(1)."""
+    graph = random_connected_gnm(n, int(2.5 * n), seed=n)
+    tree = RootedTree(random_spanning_tree(graph, seed=n + 1), 0)
+    acct = RoundAccountant()
+    engine = MinorAggregationEngine(graph, accountant=acct, measure_bits=True)
+    one_respecting_cuts(graph, tree, engine=engine)
+    assert 0 < acct.max_message_bits <= budget(n)
+
+
+@pytest.mark.parametrize("n", [50, 200])
+def test_subtree_sum_messages_small(n):
+    graph = random_connected_gnm(n, 2 * n, seed=n + 5)
+    tree = RootedTree(random_spanning_tree(graph, seed=n), 0)
+    hld = HeavyLightDecomposition(tree)
+    acct = RoundAccountant()
+    engine = MinorAggregationEngine(graph, accountant=acct, measure_bits=True)
+    subtree_sums(engine, tree, hld, {v: 1 for v in tree.order}, SUM)
+    assert 0 < acct.max_message_bits <= budget(n)
+
+
+def test_sketch_messages_bounded_by_capacity():
+    """A capacity-c Misra-Gries sketch is O(c log n) bits no matter how
+    much weight flows through it."""
+    import networkx as nx
+
+    n = 64
+    graph = nx.path_graph(n)
+    acct = RoundAccountant()
+    engine = MinorAggregationEngine(graph, accountant=acct, measure_bits=True)
+    op = misra_gries_operator(8)
+    values = {
+        v: MisraGries.singleton(8, v % 23, (v * 997) % 10_000 + 1)
+        for v in range(n)
+    }
+    path_suffix_sums(engine, [list(range(n))], values, op)
+    assert 0 < acct.max_message_bits <= 8 * 256 + 256
+
+
+def test_sketch_bits_independent_of_stream_length():
+    sketch = MisraGries.empty(6)
+    small = sketch.add("a", 3)
+    big = sketch
+    for index in range(5000):
+        big = big.add(index % 40, 7)
+    assert estimate_bits(big) <= 16 * estimate_bits(small) + 2048
+
+
+def test_delta_dict_growth_measured():
+    """Documented deviation (DESIGN.md): the LCA-delta dictionaries are not
+    pruned to light-edge ancestors as the paper prescribes, so their size
+    can grow faster than polylog at scale.  This test pins the measured
+    behaviour: within the Õ(1) budget at simulator scales, and flagged the
+    moment pruning is implemented (tighten to polylog then)."""
+    maxima = []
+    for n in (60, 240):
+        graph = random_connected_gnm(n, int(2.5 * n), seed=n + 9)
+        tree = RootedTree(random_spanning_tree(graph, seed=n), 0)
+        acct = RoundAccountant()
+        engine = MinorAggregationEngine(graph, accountant=acct, measure_bits=True)
+        one_respecting_cuts(graph, tree, engine=engine)
+        maxima.append(acct.max_message_bits)
+    assert maxima[0] <= budget(60)
+    assert maxima[1] <= budget(240)
+    # Growth is super-polylog without pruning -- but bounded by O(n log n).
+    assert maxima[1] <= 32 * 240 * log2ceil(240)

@@ -1,0 +1,104 @@
+"""1-respecting min-cut (Theorem 18): engine-genuine vs brute force."""
+
+import networkx as nx
+import pytest
+
+from repro.accounting import RoundAccountant
+from repro.core.cut_values import cover_values
+from repro.core.one_respecting import (
+    one_respecting_cuts,
+    one_respecting_cuts_fast,
+    one_respecting_min_cut,
+)
+from repro.graphs import random_connected_gnm, random_spanning_tree
+from repro.ma.engine import MinorAggregationEngine
+from repro.trees.rooted import RootedTree
+from tests.conftest import graph_tree_cases
+
+
+class TestFastPath:
+    @pytest.mark.parametrize("name,graph,tree", graph_tree_cases())
+    def test_matches_brute_force(self, name, graph, tree):
+        reference = cover_values(graph, tree)
+        fast = one_respecting_cuts_fast(graph, tree)
+        assert set(fast) == set(reference)
+        for edge, value in reference.items():
+            assert abs(fast[edge] - value) < 1e-9
+
+    def test_charges_documented_cost(self):
+        graph = random_connected_gnm(30, 70, seed=1)
+        tree = RootedTree(random_spanning_tree(graph, seed=2), 0)
+        acct = RoundAccountant()
+        one_respecting_cuts_fast(graph, tree, accountant=acct)
+        assert acct.total == acct.cost.one_respecting(30)
+
+
+class TestEngineGenuine:
+    @pytest.mark.parametrize("name,graph,tree", graph_tree_cases())
+    def test_matches_brute_force(self, name, graph, tree):
+        reference = cover_values(graph, tree)
+        engine = MinorAggregationEngine(graph)
+        values = one_respecting_cuts(graph, tree, engine=engine)
+        for edge, want in reference.items():
+            assert abs(values[edge] - want) < 1e-9, (name, edge)
+
+    def test_executes_real_rounds(self):
+        graph = random_connected_gnm(25, 55, seed=3)
+        tree = RootedTree(random_spanning_tree(graph, seed=4), 0)
+        engine = MinorAggregationEngine(graph)
+        one_respecting_cuts(graph, tree, engine=engine)
+        assert engine.rounds_executed > 2
+
+    def test_round_count_polylog(self):
+        """The executed engine rounds stay polylogarithmic in n."""
+        from repro.accounting import log2ceil
+
+        for n, m in ((30, 70), (60, 150), (120, 320)):
+            graph = random_connected_gnm(n, m, seed=n)
+            tree = RootedTree(random_spanning_tree(graph, seed=n + 1), 0)
+            engine = MinorAggregationEngine(graph)
+            one_respecting_cuts(graph, tree, engine=engine)
+            assert engine.rounds_executed <= 4 * (log2ceil(n) + 1) ** 2, n
+
+    def test_on_path_graph(self):
+        """Degenerate topology: the tree is a single heavy path."""
+        graph = nx.path_graph(15)
+        for u, v in graph.edges():
+            graph[u][v]["weight"] = u + 1
+        graph.add_edge(0, 14, weight=3)
+        tree = RootedTree(nx.path_graph(15), 0)
+        reference = cover_values(graph, tree)
+        values = one_respecting_cuts(graph, tree)
+        for edge, want in reference.items():
+            assert abs(values[edge] - want) < 1e-9
+
+    def test_star_topology(self):
+        graph = nx.star_graph(8)
+        for u, v in graph.edges():
+            graph[u][v]["weight"] = v
+        graph.add_edge(1, 2, weight=5)
+        graph.add_edge(3, 4, weight=7)
+        tree = RootedTree(nx.star_graph(8), 0)
+        reference = cover_values(graph, tree)
+        values = one_respecting_cuts(graph, tree)
+        for edge, want in reference.items():
+            assert abs(values[edge] - want) < 1e-9
+
+
+class TestMinCut1Respecting:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_min_candidate(self, seed):
+        graph = random_connected_gnm(22, 50, seed=seed + 10)
+        tree = RootedTree(random_spanning_tree(graph, seed=seed), 0)
+        candidate = one_respecting_min_cut(graph, tree)
+        reference = cover_values(graph, tree)
+        assert abs(candidate.value - min(reference.values())) < 1e-9
+        assert candidate.edges[0] in reference
+        assert abs(reference[candidate.edges[0]] - candidate.value) < 1e-9
+
+    def test_upper_bounds_true_min_cut(self):
+        graph = random_connected_gnm(20, 45, seed=7)
+        tree = RootedTree(random_spanning_tree(graph, seed=8), 0)
+        candidate = one_respecting_min_cut(graph, tree)
+        true_min, _ = nx.stoer_wagner(graph)
+        assert candidate.value >= true_min - 1e-9

@@ -1,0 +1,214 @@
+"""Aggregation operators (Definition 7) and the Misra-Gries sketch (Example 8)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ma.operators import (
+    AND,
+    DICT_SUM,
+    FIRST,
+    MAX,
+    MIN,
+    OR,
+    SET_UNION,
+    SUM,
+    MisraGries,
+    estimate_bits,
+    misra_gries_operator,
+)
+
+
+class TestBasicOperators:
+    def test_sum_fold(self):
+        assert SUM.fold([1, 2, 3]) == 6
+        assert SUM.fold([]) == 0
+
+    def test_min_ignores_identity(self):
+        assert MIN.fold([None, 5, 2, None, 9]) == 2
+        assert MIN.fold([]) is None
+
+    def test_max(self):
+        assert MAX.fold([3, None, 7, 1]) == 7
+
+    def test_or_and(self):
+        assert OR.fold([False, False, True]) is True
+        assert OR.fold([]) is False
+        assert AND.fold([True, True]) is True
+        assert AND.fold([True, False]) is False
+
+    def test_first_non_none(self):
+        assert FIRST.fold([None, None, "x", "y"]) == "x"
+
+    def test_dict_sum_merges_keys(self):
+        out = DICT_SUM.fold([{"a": 1}, {"a": 2, "b": 5}, {}])
+        assert out == {"a": 3, "b": 5}
+
+    def test_dict_sum_does_not_mutate_inputs(self):
+        a = {"k": 1}
+        b = {"k": 2}
+        DICT_SUM.combine(a, b)
+        assert a == {"k": 1} and b == {"k": 2}
+
+    def test_set_union(self):
+        out = SET_UNION.fold([frozenset({1}), frozenset({2, 3})])
+        assert out == frozenset({1, 2, 3})
+
+    def test_min_with_tuples(self):
+        assert MIN.fold([(2, "b"), (1, "z"), (1, "a")]) == (1, "a")
+
+
+class TestMisraGries:
+    def test_singleton_and_estimate(self):
+        sk = MisraGries.singleton(4, "x", 10)
+        assert sk.estimate("x") == 10
+        assert sk.total == 10
+        assert sk.decremented == 0
+
+    def test_zero_weight_singleton_is_empty(self):
+        sk = MisraGries.singleton(4, "x", 0)
+        assert sk.counts == {}
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            MisraGries.singleton(4, "x", -1)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MisraGries(0)
+
+    def test_merge_capacity_mismatch(self):
+        with pytest.raises(ValueError):
+            MisraGries.empty(3).merged(MisraGries.empty(4))
+
+    def test_compression_keeps_capacity(self):
+        sk = MisraGries.empty(3)
+        for key in "abcdefgh":
+            sk = sk.add(key, 1)
+        assert len(sk.counts) <= 3
+        assert sk.total == 8
+
+    def test_majority_always_survives(self):
+        sk = MisraGries.empty(2)
+        rng = random.Random(0)
+        items = ["maj"] * 60 + [f"noise{i}" for i in range(40)]
+        rng.shuffle(items)
+        for item in items:
+            sk = sk.add(item, 1)
+        # Strict majority: est + decremented must exceed total/2.
+        assert sk.estimate("maj") + sk.decremented > sk.total / 2
+
+    def test_estimate_never_overshoots(self):
+        rng = random.Random(1)
+        sk = MisraGries.empty(5)
+        truth: dict = {}
+        for _ in range(300):
+            key = rng.randrange(12)
+            w = rng.randint(1, 5)
+            truth[key] = truth.get(key, 0) + w
+            sk = sk.add(key, w)
+        for key, freq in truth.items():
+            assert sk.estimate(key) <= freq
+            assert freq - sk.estimate(key) <= sk.decremented
+
+    def test_decrement_bound(self):
+        """decremented <= W / (capacity + 1), the mergeable-summary bound."""
+        rng = random.Random(2)
+        capacity = 7
+        sk = MisraGries.empty(capacity)
+        for _ in range(500):
+            sk = sk.add(rng.randrange(40), rng.randint(1, 9))
+        assert sk.decremented <= sk.total / (capacity + 1) + 1e-9
+
+    def test_merge_order_independence_of_guarantee(self):
+        """Any merge order keeps the error bound (Definition 7's point)."""
+        rng = random.Random(3)
+        pieces = []
+        truth: dict = {}
+        for _ in range(40):
+            sk = MisraGries.empty(4)
+            for _ in range(10):
+                key = rng.randrange(8)
+                truth[key] = truth.get(key, 0) + 1
+                sk = sk.add(key, 1)
+            pieces.append(sk)
+        rng.shuffle(pieces)
+        merged = MisraGries.empty(4)
+        for piece in pieces:
+            merged = piece.merged(merged) if rng.random() < 0.5 else merged.merged(piece)
+        assert merged.total == sum(truth.values())
+        for key, freq in truth.items():
+            assert merged.estimate(key) <= freq
+            assert freq - merged.estimate(key) <= merged.decremented
+        assert merged.decremented <= merged.total / 5 + 1e-9
+
+    def test_keys_above(self):
+        sk = MisraGries.empty(4).add("a", 10).add("b", 1)
+        assert "a" in sk.keys_above(8)
+
+    def test_operator_wrapper(self):
+        op = misra_gries_operator(3)
+        merged = op.fold(
+            [MisraGries.singleton(3, "x", 5), MisraGries.singleton(3, "y", 2)]
+        )
+        assert merged.estimate("x") == 5
+        assert merged.total == 7
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=15), st.integers(min_value=1, max_value=8)),
+        min_size=1,
+        max_size=200,
+    ),
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_misra_gries_guarantees_property(items, capacity, seed):
+    """Property (Example 8): underestimates only, bounded slack, and every
+    strict majority element is reported by the slack-aware filter."""
+    rng = random.Random(seed)
+    # Build via randomized chunked merges to exercise mergeability.
+    chunks = [MisraGries.empty(capacity)]
+    for key, weight in items:
+        if rng.random() < 0.2:
+            chunks.append(MisraGries.empty(capacity))
+        chunks[-1] = chunks[-1].add(key, weight)
+    sketch = MisraGries.empty(capacity)
+    while chunks:
+        sketch = sketch.merged(chunks.pop(rng.randrange(len(chunks))))
+
+    truth: dict = {}
+    for key, weight in items:
+        truth[key] = truth.get(key, 0) + weight
+    total = sum(truth.values())
+    assert sketch.total == total
+    assert sketch.decremented <= total / (capacity + 1) + 1e-9
+    for key, freq in truth.items():
+        assert sketch.estimate(key) <= freq
+        assert freq - sketch.estimate(key) <= sketch.decremented + 1e-9
+        if freq > total / 2:
+            assert sketch.estimate(key) + sketch.decremented > total / 2
+
+
+class TestEstimateBits:
+    def test_primitives(self):
+        assert estimate_bits(None) == 1
+        assert estimate_bits(True) == 1
+        assert estimate_bits(0) >= 1
+        assert estimate_bits(2 ** 30) >= 30
+        assert estimate_bits(1.5) == 64
+        assert estimate_bits("abcd") == 32
+
+    def test_containers_accumulate(self):
+        assert estimate_bits((1, 2)) > estimate_bits((1,))
+        assert estimate_bits({"a": 1}) > estimate_bits({})
+
+    def test_sketch_size_scales_with_counters(self):
+        small = MisraGries.singleton(8, "k", 1)
+        big = small
+        for i in range(6):
+            big = big.add(f"key{i}", 1)
+        assert estimate_bits(big) > estimate_bits(small)

@@ -1,0 +1,256 @@
+"""Path-to-path 2-respecting min-cut (Theorem 19, Fact 20, Lemmas 21-23)."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accounting import RoundAccountant
+from repro.core.cut_values import cover_values, cut_matrix
+from repro.core.path_to_path import (
+    BASE_CASE_EDGES,
+    PathInstance,
+    PathToPathSolver,
+    solve_path_to_path,
+)
+from repro.trees.rooted import RootedTree, edge_key
+
+
+def make_real_instance(k: int, l: int, extra: int, seed: int, special_only=False):
+    """A real graph whose spanning tree is a root plus two paths.
+
+    Returns (graph, rooted tree, instance).  ``special_only`` restricts the
+    random cross edges to the five special nodes (forcing separability).
+    """
+    rng = random.Random(seed)
+    root = 0
+    p_nodes = list(range(1, k + 1))
+    q_nodes = list(range(k + 1, k + l + 1))
+    graph = nx.Graph()
+    graph.add_node(root)
+    previous = root
+    for node in p_nodes:
+        graph.add_edge(previous, node, weight=rng.randint(1, 9))
+        previous = node
+    previous = root
+    for node in q_nodes:
+        graph.add_edge(previous, node, weight=rng.randint(1, 9))
+        previous = node
+    tree = graph.copy()
+
+    p_specials = [p_nodes[0], p_nodes[-1]]
+    q_specials = [q_nodes[0], q_nodes[-1]]
+    for _ in range(extra):
+        if special_only:
+            if rng.random() < 0.5:
+                u = rng.choice(p_specials + [root])
+                v = rng.choice(q_nodes + [root])
+            else:
+                u = rng.choice(p_nodes + [root])
+                v = rng.choice(q_specials + [root])
+        else:
+            u = rng.choice(p_nodes + q_nodes + [root])
+            v = rng.choice(p_nodes + q_nodes + [root])
+        if u == v:
+            continue
+        w = rng.randint(1, 9)
+        if graph.has_edge(u, v):
+            graph[u][v]["weight"] += w
+        else:
+            graph.add_edge(u, v, weight=w)
+
+    rooted = RootedTree(tree, root)
+    cov = cover_values(graph, rooted)
+    p_orig = [edge_key(root, p_nodes[0])] + [
+        edge_key(a, b) for a, b in zip(p_nodes, p_nodes[1:])
+    ]
+    q_orig = [edge_key(root, q_nodes[0])] + [
+        edge_key(a, b) for a, b in zip(q_nodes, q_nodes[1:])
+    ]
+    instance = PathInstance(
+        graph=graph,
+        root=root,
+        p_nodes=p_nodes,
+        q_nodes=q_nodes,
+        p_orig=p_orig,
+        q_orig=q_orig,
+        cov=cov,
+    )
+    return graph, rooted, instance
+
+
+def brute_force(instance: PathInstance) -> float:
+    crosses = instance.cross_edges()
+    best = math.inf
+    for i in range(1, len(instance.p_nodes) + 1):
+        for j in range(1, len(instance.q_nodes) + 1):
+            pair = sum(
+                w for pu, qv, w in crosses if pu + 1 >= i and qv + 1 >= j
+            )
+            value = (
+                instance.cov[instance.p_orig[i - 1]]
+                + instance.cov[instance.q_orig[j - 1]]
+                - 2 * pair
+            )
+            best = min(best, value)
+    return best
+
+
+class TestAgainstCutMatrix:
+    """The instance-level brute force agrees with the graph-level oracle."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_brute_matches_cut_matrix(self, seed):
+        graph, rooted, instance = make_real_instance(6, 5, 14, seed)
+        edges, cuts = cut_matrix(graph, rooted)
+        index = {edge: i for i, edge in enumerate(edges)}
+        want = min(
+            cuts[index[e], index[f]]
+            for e in instance.p_orig
+            for f in instance.q_orig
+        )
+        assert abs(brute_force(instance) - want) < 1e-9
+
+
+class TestSolverExactness:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_small_instances(self, seed):
+        _g, _rt, instance = make_real_instance(5, 7, 12, seed)
+        result = solve_path_to_path(instance)
+        assert abs(result.value - brute_force(instance)) < 1e-9
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_recursive_instances(self, seed):
+        """Long paths: the Monge recursion actually fires."""
+        _g, _rt, instance = make_real_instance(30, 25, 80, seed)
+        solver = PathToPathSolver()
+        result = solver.solve(instance)
+        assert abs(result.value - brute_force(instance)) < 1e-9
+        assert solver.stats.instances > 1  # recursion happened
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lopsided_instances(self, seed):
+        _g, _rt, instance = make_real_instance(50, 12, 60, seed + 30)
+        result = solve_path_to_path(instance)
+        assert abs(result.value - brute_force(instance)) < 1e-9
+
+    def test_witness_edges_valid(self):
+        _g, _rt, instance = make_real_instance(20, 20, 50, 99)
+        result = solve_path_to_path(instance)
+        e, f = result.edges
+        assert e in instance.p_orig and f in instance.q_orig
+        i = instance.p_orig.index(e) + 1
+        j = instance.q_orig.index(f) + 1
+        crosses = instance.cross_edges()
+        pair = sum(w for pu, qv, w in crosses if pu + 1 >= i and qv + 1 >= j)
+        value = instance.cov[e] + instance.cov[f] - 2 * pair
+        assert abs(value - result.value) < 1e-9
+
+    def test_empty_path_returns_none(self):
+        _g, _rt, instance = make_real_instance(4, 4, 5, 1)
+        empty = PathInstance(
+            graph=instance.graph,
+            root=instance.root,
+            p_nodes=[],
+            q_nodes=instance.q_nodes,
+            p_orig=[],
+            q_orig=instance.q_orig,
+            cov=instance.cov,
+        )
+        assert solve_path_to_path(empty) is None
+
+    def test_mislabeled_instance_rejected(self):
+        _g, _rt, instance = make_real_instance(4, 4, 5, 2)
+        with pytest.raises(ValueError):
+            PathInstance(
+                graph=instance.graph,
+                root=instance.root,
+                p_nodes=instance.p_nodes,
+                q_nodes=instance.q_nodes,
+                p_orig=instance.p_orig[:-1],
+                q_orig=instance.q_orig,
+                cov=instance.cov,
+            )
+
+
+class TestSeparableInstances:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_separable_solved_without_recursion(self, seed):
+        _g, _rt, instance = make_real_instance(
+            BASE_CASE_EDGES + 5, BASE_CASE_EDGES + 6, 40, seed, special_only=True
+        )
+        solver = PathToPathSolver()
+        result = solver.solve(instance)
+        assert abs(result.value - brute_force(instance)) < 1e-9
+        assert solver.stats.separable_solved >= 1
+        assert solver.stats.instances == 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_separable_attachment_row(self, seed):
+        """Pairs touching e1/f1 are handled by the extended Lemma 22."""
+        _g, _rt, instance = make_real_instance(
+            14, 13, 30, seed + 70, special_only=True
+        )
+        result = solve_path_to_path(instance)
+        assert abs(result.value - brute_force(instance)) < 1e-9
+
+
+class TestMongeProperty:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_fact20_four_point_inequality(self, seed):
+        """Cut(ei,fj) + Cut(ei',fj') <= Cut(ei',fj) + Cut(ei,fj')."""
+        graph, rooted, instance = make_real_instance(8, 8, 25, seed + 11)
+        crosses = instance.cross_edges()
+
+        def cut(i, j):
+            pair = sum(w for pu, qv, w in crosses if pu + 1 >= i and qv + 1 >= j)
+            return (
+                instance.cov[instance.p_orig[i - 1]]
+                + instance.cov[instance.q_orig[j - 1]]
+                - 2 * pair
+            )
+
+        rng = random.Random(seed)
+        for _ in range(40):
+            i, ip = sorted(rng.sample(range(1, 9), 2))
+            j, jp = sorted(rng.sample(range(1, 9), 2))
+            assert cut(i, j) + cut(ip, jp) <= cut(ip, j) + cut(i, jp) + 1e-9
+
+
+class TestComplexity:
+    def test_recursion_depth_logarithmic(self):
+        _g, _rt, instance = make_real_instance(120, 110, 300, 5)
+        solver = PathToPathSolver()
+        solver.solve(instance)
+        assert solver.stats.max_depth <= math.ceil(math.log2(120)) + 1
+
+    def test_rounds_polylog(self):
+        """Charged Minor-Aggregation rounds grow polylogarithmically."""
+        totals = []
+        for k in (16, 64, 256):
+            _g, _rt, instance = make_real_instance(k, k, 3 * k, 7)
+            acct = RoundAccountant()
+            solver = PathToPathSolver(acct)
+            solver.solve(instance)
+            totals.append(acct.total)
+        n = 2 * 256 + 1
+        assert totals[-1] <= 2000 * math.log2(n) ** 3
+        # Sub-linear growth: quadrupling the size far less than quadruples cost.
+        assert totals[2] < 4 * totals[1]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=18),
+    st.integers(min_value=1, max_value=18),
+    st.integers(min_value=0, max_value=40),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_path_to_path_property(k, l, extra, seed):
+    """Property: solver == brute force on random real instances."""
+    _g, _rt, instance = make_real_instance(k, l, extra, seed)
+    result = solve_path_to_path(instance)
+    assert result is not None
+    assert abs(result.value - brute_force(instance)) < 1e-9

@@ -1,0 +1,155 @@
+"""RootedTree: parents, depths, ancestry, LCA, paths, subtree sizes."""
+
+import networkx as nx
+import pytest
+
+from repro.trees.rooted import RootedTree, edge_key
+from tests.conftest import random_tree
+
+
+def path_tree(n: int) -> RootedTree:
+    return RootedTree(nx.path_graph(n), 0)
+
+
+def star_tree(n: int) -> RootedTree:
+    return RootedTree(nx.star_graph(n - 1), 0)
+
+
+class TestConstruction:
+    def test_rejects_missing_root(self):
+        with pytest.raises(ValueError):
+            RootedTree(nx.path_graph(3), 99)
+
+    def test_rejects_cycles(self):
+        with pytest.raises(ValueError):
+            RootedTree(nx.cycle_graph(4), 0)
+
+    def test_rejects_disconnected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        with pytest.raises(ValueError):
+            RootedTree(graph, 0)
+
+    def test_single_node(self):
+        graph = nx.Graph()
+        graph.add_node(7)
+        tree = RootedTree(graph, 7)
+        assert len(tree) == 1
+        assert list(tree.edges()) == []
+        assert tree.depth[7] == 0
+
+    def test_order_is_topdown(self):
+        tree = random_tree(40, seed=1)
+        seen = set()
+        for node in tree.order:
+            parent = tree.parent[node]
+            assert parent is None or parent in seen
+            seen.add(node)
+
+    def test_from_edges_roundtrip(self):
+        tree = random_tree(20, seed=2)
+        rebuilt = RootedTree.from_edges(tree.edges(), root=tree.root)
+        assert rebuilt.parent == tree.parent
+
+
+class TestDepthAndEdges:
+    def test_path_depths(self):
+        tree = path_tree(6)
+        assert [tree.depth[v] for v in range(6)] == list(range(6))
+
+    def test_edge_top_bottom(self):
+        tree = path_tree(4)
+        edge = tree.edge_of(2)
+        assert tree.top(edge) == 1
+        assert tree.bottom(edge) == 2
+
+    def test_root_has_no_parent_edge(self):
+        tree = path_tree(3)
+        with pytest.raises(ValueError):
+            tree.edge_of(0)
+
+    def test_edges_count(self):
+        tree = random_tree(33, seed=3)
+        assert len(list(tree.edges())) == 32
+
+    def test_edge_key_is_order_insensitive(self):
+        assert edge_key(3, 7) == edge_key(7, 3)
+        assert edge_key("a", 3) == edge_key(3, "a")
+
+
+class TestAncestry:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_lca_matches_networkx(self, seed):
+        tree = random_tree(50, seed=seed)
+        graph = tree.to_graph()
+        digraph = nx.bfs_tree(graph, tree.root)
+        import itertools
+        import random as _random
+
+        rng = _random.Random(seed)
+        nodes = list(tree.order)
+        pairs = [tuple(rng.sample(nodes, 2)) for _ in range(60)]
+        expected = dict(
+            nx.tree_all_pairs_lowest_common_ancestor(digraph, pairs=pairs)
+        )
+        for pair, want in expected.items():
+            assert tree.lca(*pair) == want
+
+    def test_lca_of_node_with_itself(self):
+        tree = random_tree(10, seed=0)
+        for node in tree.order:
+            assert tree.lca(node, node) == node
+
+    def test_is_ancestor(self):
+        tree = path_tree(5)
+        assert tree.is_ancestor(0, 4)
+        assert tree.is_ancestor(2, 2)
+        assert not tree.is_ancestor(4, 0)
+
+    def test_ancestors_chain(self):
+        tree = path_tree(5)
+        assert list(tree.ancestors(3)) == [3, 2, 1, 0]
+
+
+class TestPathsAndSubtrees:
+    def test_path_edges_covers(self):
+        tree = random_tree(30, seed=4)
+        for u, v in [(5, 20), (1, 29), (13, 13)]:
+            edges = tree.path_edges(u, v)
+            # Walking the path edge set from u must reach v.
+            graph = nx.Graph(edges)
+            if u == v:
+                assert edges == []
+            else:
+                assert nx.has_path(graph, u, v)
+                assert nx.shortest_path_length(graph, u, v) == len(edges)
+
+    def test_path_nodes_endpoints(self):
+        tree = random_tree(30, seed=5)
+        nodes = tree.path_nodes(7, 22)
+        assert nodes[0] == 7 and nodes[-1] == 22
+        assert len(set(nodes)) == len(nodes)
+
+    def test_path_nodes_consecutive_adjacent(self):
+        tree = random_tree(25, seed=6)
+        nodes = tree.path_nodes(3, 19)
+        graph = tree.to_graph()
+        for a, b in zip(nodes, nodes[1:]):
+            assert graph.has_edge(a, b)
+
+    def test_subtree_nodes_star(self):
+        tree = star_tree(8)
+        assert set(tree.subtree_nodes(0)) == set(range(8))
+        for leaf in range(1, 8):
+            assert tree.subtree_nodes(leaf) == [leaf]
+
+    def test_subtree_sizes_match_enumeration(self):
+        tree = random_tree(45, seed=7)
+        sizes = tree.subtree_sizes()
+        for node in tree.order:
+            assert sizes[node] == len(tree.subtree_nodes(node))
+
+    def test_subtree_sizes_root_is_n(self):
+        tree = random_tree(31, seed=8)
+        assert tree.subtree_sizes()[tree.root] == 31

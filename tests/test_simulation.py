@@ -1,0 +1,121 @@
+"""Theorem 17 compile-down cost model (MA rounds -> CONGEST rounds)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graphs import cycle_graph, grid_graph, random_connected_gnm
+from repro.ma.simulation import (
+    congest_estimates,
+    excluded_minor_simulation_cost,
+    general_simulation_cost,
+    known_topology_simulation_cost,
+    mixing_simulation_cost,
+)
+
+
+class TestPerRoundCosts:
+    def test_general_has_sqrt_n_floor(self):
+        """Even at D=1 the general bound pays sqrt(n)."""
+        assert general_simulation_cost(10_000, 1) >= 100
+
+    def test_general_linear_in_diameter(self):
+        lo = general_simulation_cost(100, 5)
+        hi = general_simulation_cost(100, 50)
+        assert hi > lo
+        assert (hi - lo) == pytest.approx(45 * math.ceil(math.log2(100)))
+
+    def test_excluded_minor_scales_with_d_only(self):
+        """Õ(D): growing n at fixed D only adds polylog factors."""
+        small = excluded_minor_simulation_cost(100, 10)
+        large = excluded_minor_simulation_cost(100_000, 10)
+        assert large / small <= (17 / 7) ** 2 + 1e-9  # (log ratio)^2
+
+    def test_excluded_minor_beats_general_when_d_small(self):
+        n, d = 10_000, 5
+        assert excluded_minor_simulation_cost(n, d) < general_simulation_cost(n, d)
+
+    def test_general_beats_excluded_minor_at_huge_d(self):
+        """On a path/cycle (D ~ n) the D term dominates both anyway."""
+        n, d = 400, 200
+        assert general_simulation_cost(n, d) <= excluded_minor_simulation_cost(n, d)
+
+    def test_known_topology_uses_sq(self):
+        assert known_topology_simulation_cost(100, 10) < known_topology_simulation_cost(100, 100)
+
+    def test_mixing_subpolynomial(self):
+        """2^O(sqrt(log n)) grows slower than any polynomial: n^(1/4) here."""
+        for n in (2 ** 10, 2 ** 16, 2 ** 24):
+            assert mixing_simulation_cost(n) < n ** 0.25 * 64
+
+
+class TestCongestEstimates:
+    def test_from_graph(self):
+        graph = grid_graph(6, 6, seed=1)
+        est = congest_estimates(100, graph=graph)
+        assert est.n == 36
+        assert est.diameter == nx.diameter(graph)
+        assert est.general == pytest.approx(
+            100 * general_simulation_cost(36, est.diameter)
+        )
+
+    def test_from_parameters(self):
+        est = congest_estimates(10, n=400, diameter=12)
+        assert est.excluded_minor == pytest.approx(
+            10 * excluded_minor_simulation_cost(400, 12)
+        )
+
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            congest_estimates(10)
+
+    def test_default_sq_is_existential_bound(self):
+        est = congest_estimates(1, n=100, diameter=7)
+        assert est.known_topology == pytest.approx(
+            known_topology_simulation_cost(100, 7 + 10)
+        )
+
+    def test_custom_sq(self):
+        est = congest_estimates(1, n=100, diameter=7, shortcut_quality=3)
+        assert est.known_topology == pytest.approx(
+            known_topology_simulation_cost(100, 3)
+        )
+
+    def test_linear_in_ma_rounds(self):
+        one = congest_estimates(1, n=100, diameter=5)
+        ten = congest_estimates(10, n=100, diameter=5)
+        assert ten.general == pytest.approx(10 * one.general)
+        assert ten.mixing == pytest.approx(10 * one.mixing)
+
+    def test_as_dict(self):
+        est = congest_estimates(2, n=50, diameter=4)
+        d = est.as_dict()
+        assert set(d) == {
+            "ma_rounds", "general", "excluded_minor", "known_topology", "mixing",
+        }
+
+
+class TestUniversalOptimalityShape:
+    """The paper's Theorem 1 'who wins' structure, at the cost-model level."""
+
+    def test_planar_low_diameter_wins(self):
+        """For D << sqrt(n)/polylog the excluded-minor bound dominates."""
+        est = congest_estimates(1, n=1_000_000, diameter=5)
+        assert est.excluded_minor < est.general
+        # And the gap widens with n at fixed D (universal optimality pays off
+        # more the larger the structured network gets).
+        bigger = congest_estimates(1, n=10 ** 8, diameter=5)
+        assert (bigger.general / bigger.excluded_minor) > (
+            est.general / est.excluded_minor
+        )
+
+    def test_cycle_diameter_dominates_everywhere(self):
+        graph = cycle_graph(60, seed=3)
+        est = congest_estimates(1, graph=graph)
+        assert est.general >= 30  # D term alone
+
+    def test_dense_random_graph_sqrt_term(self):
+        graph = random_connected_gnm(80, 600, seed=4)
+        est = congest_estimates(1, graph=graph)
+        assert est.general >= math.sqrt(80)

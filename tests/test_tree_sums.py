@@ -1,0 +1,186 @@
+"""Engine-genuine prefix/suffix/subtree/ancestor sums (Lemmas 45-46)."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.accounting import RoundAccountant, log2ceil
+from repro.graphs import random_connected_gnm, random_spanning_tree
+from repro.ma.engine import MinorAggregationEngine
+from repro.ma.operators import MAX, MIN, SUM, Operator
+from repro.trees.hld import HeavyLightDecomposition
+from repro.trees.rooted import RootedTree
+from repro.trees.sums import (
+    ancestor_sums,
+    path_prefix_sums,
+    path_suffix_sums,
+    subtree_sums,
+)
+from tests.conftest import random_tree
+
+CONCAT = Operator("concat", tuple, lambda a, b: tuple(a) + tuple(b))
+
+
+def line_engine(n: int):
+    return MinorAggregationEngine(nx.path_graph(n))
+
+
+class TestPathPrefixSums:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 9, 31, 64, 100])
+    def test_prefix_matches_direct(self, n):
+        engine = line_engine(max(n, 2))
+        path = list(range(n))
+        values = {v: v + 1 for v in path}
+        result = path_prefix_sums(engine, [path], values, SUM)
+        acc = 0
+        for v in path:
+            acc += values[v]
+            assert result[v] == acc
+
+    def test_prefix_respects_order(self):
+        """Non-commutative fold: prefix must concatenate left-to-right."""
+        engine = line_engine(9)
+        path = list(range(9))
+        values = {v: (v,) for v in path}
+        result = path_prefix_sums(engine, [path], values, CONCAT)
+        for v in path:
+            assert result[v] == tuple(range(v + 1))
+
+    def test_suffix_matches_direct(self):
+        engine = line_engine(12)
+        path = list(range(12))
+        values = {v: v for v in path}
+        result = path_suffix_sums(engine, [path], values, SUM)
+        for v in path:
+            assert result[v] == sum(range(v, 12))
+
+    def test_round_count_is_log(self):
+        """Lemma 45: ceil(log2 len) engine rounds."""
+        for n in (8, 64, 100):
+            acct = RoundAccountant()
+            engine = MinorAggregationEngine(nx.path_graph(n), accountant=acct)
+            path_prefix_sums(engine, [list(range(n))], {v: 1 for v in range(n)}, SUM)
+            assert engine.rounds_executed == log2ceil(n)
+
+    def test_multiple_paths_share_rounds(self):
+        """Corollary 11: disjoint paths cost the max, not the sum."""
+        graph = nx.Graph()
+        paths = [list(range(0, 10)), list(range(10, 26)), list(range(26, 30))]
+        for path in paths:
+            nx.add_path(graph, path)
+        graph.add_edge(9, 10)
+        graph.add_edge(25, 26)  # connect everything
+        acct = RoundAccountant()
+        engine = MinorAggregationEngine(graph, accountant=acct)
+        values = {v: 1 for v in range(30)}
+        result = path_prefix_sums(engine, paths, values, SUM)
+        assert engine.rounds_executed == log2ceil(16)
+        for path in paths:
+            for index, node in enumerate(path):
+                assert result[node] == index + 1
+
+    def test_min_operator(self):
+        engine = line_engine(10)
+        path = list(range(10))
+        values = {v: (7 - v) % 5 for v in path}
+        result = path_prefix_sums(engine, [path], values, MIN)
+        for v in path:
+            assert result[v] == min(values[u] for u in path[: v + 1])
+
+    def test_empty_paths(self):
+        engine = line_engine(3)
+        assert path_prefix_sums(engine, [], {}, SUM) == {}
+
+
+class TestSubtreeSums:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_direct_enumeration(self, seed):
+        tree = random_tree(60, seed)
+        graph = tree.to_graph()
+        engine = MinorAggregationEngine(graph)
+        hld = HeavyLightDecomposition(tree)
+        rng = random.Random(seed)
+        values = {v: rng.randint(-5, 10) for v in tree.order}
+        result = subtree_sums(engine, tree, hld, values, SUM)
+        for node in tree.order:
+            assert result[node] == sum(values[d] for d in tree.subtree_nodes(node))
+
+    def test_on_embedded_spanning_tree(self):
+        """Tree edges inside a larger communication graph."""
+        graph = random_connected_gnm(40, 100, seed=3)
+        tree = RootedTree(random_spanning_tree(graph, seed=4), 0)
+        engine = MinorAggregationEngine(graph)
+        hld = HeavyLightDecomposition(tree)
+        values = {v: v for v in tree.order}
+        result = subtree_sums(engine, tree, hld, values, SUM)
+        for node in tree.order:
+            assert result[node] == sum(tree.subtree_nodes(node))
+
+    def test_max_operator(self):
+        tree = random_tree(40, seed=9)
+        engine = MinorAggregationEngine(tree.to_graph())
+        hld = HeavyLightDecomposition(tree)
+        values = {v: (v * 13) % 29 for v in tree.order}
+        result = subtree_sums(engine, tree, hld, values, MAX)
+        for node in tree.order:
+            assert result[node] == max(values[d] for d in tree.subtree_nodes(node))
+
+    def test_single_node_tree(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        tree = RootedTree(graph, 0)
+        engine_graph = nx.path_graph(2)
+        engine = MinorAggregationEngine(engine_graph)
+        hld = HeavyLightDecomposition(tree)
+        assert subtree_sums(engine, tree, hld, {0: 42}, SUM) == {0: 42}
+
+    def test_path_tree_subtree_sums(self):
+        tree = RootedTree(nx.path_graph(17), 0)
+        engine = MinorAggregationEngine(nx.path_graph(17))
+        hld = HeavyLightDecomposition(tree)
+        result = subtree_sums(engine, tree, hld, {v: 1 for v in range(17)}, SUM)
+        for v in range(17):
+            assert result[v] == 17 - v
+
+    def test_round_count_polylog(self):
+        """Lemma 46: O(log^2 n) engine rounds."""
+        tree = random_tree(150, seed=2)
+        acct = RoundAccountant()
+        engine = MinorAggregationEngine(tree.to_graph(), accountant=acct)
+        hld = HeavyLightDecomposition(tree)
+        subtree_sums(engine, tree, hld, {v: 1 for v in tree.order}, SUM)
+        bound = (log2ceil(150) + 1) * (log2ceil(150) + 1)
+        assert engine.rounds_executed <= bound
+
+
+class TestAncestorSums:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_direct_enumeration(self, seed):
+        tree = random_tree(55, seed + 50)
+        engine = MinorAggregationEngine(tree.to_graph())
+        hld = HeavyLightDecomposition(tree)
+        rng = random.Random(seed)
+        values = {v: rng.randint(0, 9) for v in tree.order}
+        result = ancestor_sums(engine, tree, hld, values, SUM)
+        for node in tree.order:
+            assert result[node] == sum(values[a] for a in tree.ancestors(node))
+
+    def test_depth_computation(self):
+        """The classic use: depths = ancestor sums of all-ones minus one."""
+        tree = random_tree(45, seed=11)
+        engine = MinorAggregationEngine(tree.to_graph())
+        hld = HeavyLightDecomposition(tree)
+        result = ancestor_sums(engine, tree, hld, {v: 1 for v in tree.order}, SUM)
+        for node in tree.order:
+            assert result[node] == tree.depth[node] + 1
+
+    def test_star_tree(self):
+        tree = RootedTree(nx.star_graph(9), 0)
+        engine = MinorAggregationEngine(nx.star_graph(9))
+        hld = HeavyLightDecomposition(tree)
+        values = {v: v + 1 for v in tree.order}
+        result = ancestor_sums(engine, tree, hld, values, SUM)
+        assert result[0] == 1
+        for leaf in range(1, 10):
+            assert result[leaf] == 1 + leaf + 1
