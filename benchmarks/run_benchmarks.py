@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""Run the benchmark suite and emit a BENCH_*.json trajectory file.
+
+Times every experiment module (E1-E15, ``quick=True`` -- the same code the
+report pipeline runs) plus the kernel-vs-legacy micro benchmarks, and
+writes median wall-clock per entry so future perf PRs have a committed
+baseline to diff against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py              # BENCH_PR1.json
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --out X.json --repeats 5
+
+The kernel micro section doubles as the acceptance check of PR 1: on a
+seeded n=512, m=2048 random graph the kernel-backed ``cover_values`` and
+``two_respecting_oracle`` must be >= 5x faster than the legacy path with
+bit-identical cut values (recorded under ``kernel_micro`` and enforced
+with ``--check``; ``benchmarks/bench_kernel.py`` asserts the same bar).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+EXPERIMENTS = [
+    "e01_general",
+    "e02_planar",
+    "e03_tree_packing",
+    "e04_one_respecting",
+    "e05_path_to_path",
+    "e06_star_interest",
+    "e07_between_subtree",
+    "e08_general_two_respecting",
+    "e09_virtual_overhead",
+    "e10_primitives",
+    "e11_baselines",
+    "e12_shortcut_quality",
+    "e13_boruvka",
+    "e14_congest_compilation",
+    "e15_hld_construction",
+]
+
+KERNEL_MICRO_N = 512
+KERNEL_MICRO_M = 2048
+KERNEL_MICRO_SEED = 7
+SPEEDUP_FLOOR = 5.0
+
+
+def _timed(fn, repeats: int) -> tuple[list[float], object]:
+    samples = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - start)
+    return samples, result
+
+
+def median_seconds(fn, repeats: int) -> tuple[float, object]:
+    samples, result = _timed(fn, repeats)
+    return statistics.median(samples), result
+
+
+def run_experiments(repeats: int) -> dict:
+    rows = {}
+    for name in EXPERIMENTS:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        seconds, outcome = median_seconds(lambda: module.run(quick=True), repeats)
+        rows[name] = {
+            "median_seconds": round(seconds, 6),
+            "holds": bool(outcome.holds),
+        }
+        print(f"  {name:<28} {seconds * 1e3:9.1f} ms  holds={outcome.holds}")
+    return rows
+
+
+def run_kernel_micro(repeats: int) -> dict:
+    from repro.core.cut_values import cover_values, two_respecting_oracle
+    from repro.graphs import random_connected_gnm, random_spanning_tree
+    from repro.kernel import use_kernel, use_legacy
+    from repro.trees.rooted import RootedTree
+
+    graph = random_connected_gnm(
+        KERNEL_MICRO_N, KERNEL_MICRO_M, seed=KERNEL_MICRO_SEED, weight_high=50
+    )
+    tree = RootedTree(
+        random_spanning_tree(graph, seed=KERNEL_MICRO_SEED + 1), 0
+    )
+
+    rows = {}
+    for label, fn in (
+        ("cover_values", lambda: cover_values(graph, tree)),
+        ("two_respecting_oracle", lambda: two_respecting_oracle(graph, tree)),
+    ):
+        micro_repeats = max(repeats, 5)
+        with use_kernel():
+            tree._kernel = None  # first sample pays the build, like callers
+            fast_samples, fast_result = _timed(fn, micro_repeats)
+        with use_legacy():
+            legacy_samples, legacy_result = _timed(fn, micro_repeats)
+        identical = fast_result == legacy_result
+        if hasattr(fast_result, "value"):
+            identical = (
+                fast_result.value == legacy_result.value
+                and fast_result.edges == legacy_result.edges
+            )
+        # Steady-state speedup from best-of samples (noise-robust); the
+        # medians are recorded alongside for trajectory comparisons.
+        speedup = min(legacy_samples) / min(fast_samples)
+        rows[label] = {
+            "n": KERNEL_MICRO_N,
+            "m": KERNEL_MICRO_M,
+            "seed": KERNEL_MICRO_SEED,
+            "kernel_median_seconds": round(statistics.median(fast_samples), 6),
+            "legacy_median_seconds": round(statistics.median(legacy_samples), 6),
+            "kernel_best_seconds": round(min(fast_samples), 6),
+            "legacy_best_seconds": round(min(legacy_samples), 6),
+            "speedup": round(speedup, 2),
+            "bit_identical": bool(identical),
+        }
+        print(
+            f"  {label:<28} kernel {min(fast_samples) * 1e3:8.2f} ms"
+            f"  legacy {min(legacy_samples) * 1e3:8.2f} ms"
+            f"  speedup {speedup:6.1f}x  identical={identical}"
+        )
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_PR1.json")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"exit non-zero unless the kernel micro speedups are >= {SPEEDUP_FLOOR}x",
+    )
+    args = parser.parse_args()
+
+    print("experiments (quick=True):")
+    experiments = run_experiments(args.repeats)
+    print("kernel micro:")
+    micro = run_kernel_micro(args.repeats)
+
+    payload = {
+        "schema": "repro-bench/1",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "repeats": args.repeats,
+        "experiments": experiments,
+        "kernel_micro": micro,
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    ok = all(row["bit_identical"] for row in micro.values())
+    fast_enough = all(row["speedup"] >= SPEEDUP_FLOOR for row in micro.values())
+    if not ok:
+        print("FAIL: kernel results are not identical to legacy", file=sys.stderr)
+        return 1
+    if args.check and not fast_enough:
+        print(
+            f"FAIL: kernel speedup below {SPEEDUP_FLOOR}x", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,11 +27,23 @@ from repro.core import (
     two_respecting_min_cut,
     two_respecting_oracle,
 )
+from repro.kernel import (
+    TreeKernel,
+    kernel_enabled,
+    set_kernel_enabled,
+    use_kernel,
+    use_legacy,
+)
 from repro.ma import MinorAggregationEngine, congest_estimates
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "TreeKernel",
+    "kernel_enabled",
+    "set_kernel_enabled",
+    "use_kernel",
+    "use_legacy",
     "CostModel",
     "RoundAccountant",
     "CutCandidate",

@@ -78,9 +78,25 @@ class CongestNetwork:
         self.rounds_executed = 0
         self.messages_sent = 0
         self.max_message_bits_seen = 0
+        # Topology is frozen at construction: neighbor lists are sorted
+        # once here (not once per run) and _check consults the same frozen
+        # adjacency, so later graph mutation cannot be half-honored.
+        self._nodes: list[Node] = list(graph.nodes())
+        self._neighbors: dict[Node, list[Node]] = {
+            node: sorted(
+                graph.neighbors(node),
+                key=lambda v: (type(v).__name__, str(v)),
+            )
+            for node in self._nodes
+        }
+        self._neighbor_sets: dict[Node, frozenset] = {
+            node: frozenset(neighbors)
+            for node, neighbors in self._neighbors.items()
+        }
+        self._edge_count = graph.number_of_edges()
 
     def _check(self, sender: Node, target: Node, message: Any) -> None:
-        if target not in self.graph[sender]:
+        if target not in self._neighbor_sets[sender]:
             raise ValueError(f"{sender!r} tried to message non-neighbor {target!r}")
         bits = estimate_bits(message)
         if bits > self.max_message_bits_seen:
@@ -97,20 +113,18 @@ class CongestNetwork:
     ) -> dict[Node, NodeContext]:
         """Run until every node reports done (or ``max_rounds``)."""
         if max_rounds is None:
-            max_rounds = 4 * (self.n + self.graph.number_of_edges()) + 16
+            max_rounds = 4 * (self.n + self._edge_count) + 16
+        nodes = self._nodes
         programs: dict[Node, NodeProgram] = {}
         contexts: dict[Node, NodeContext] = {}
-        for node in self.graph.nodes():
+        for node in nodes:
             contexts[node] = NodeContext(
-                node=node, neighbors=sorted(
-                    self.graph.neighbors(node),
-                    key=lambda v: (type(v).__name__, str(v)),
-                ), n=self.n,
+                node=node, neighbors=list(self._neighbors[node]), n=self.n,
             )
             programs[node] = program_factory()
 
         outboxes: dict[Node, dict[Node, Any]] = {}
-        for node in self.graph.nodes():
+        for node in nodes:
             outbox = programs[node].start(contexts[node]) or {}
             for target, message in outbox.items():
                 self._check(node, target, message)
@@ -119,20 +133,23 @@ class CongestNetwork:
         for _ in range(max_rounds):
             pending = any(outbox for outbox in outboxes.values())
             if not pending and all(
-                programs[v].done(contexts[v]) for v in self.graph.nodes()
+                programs[v].done(contexts[v]) for v in nodes
             ):
                 break
-            inboxes: dict[Node, dict[Node, Any]] = {v: {} for v in self.graph.nodes()}
+            # Inbox dicts only where a message actually lands; quiet nodes
+            # share nothing and allocate nothing.
+            inboxes: dict[Node, dict[Node, Any]] = {}
             any_message = False
             for sender, outbox in outboxes.items():
                 for target, message in outbox.items():
-                    inboxes[target][sender] = message
+                    inboxes.setdefault(target, {})[sender] = message
                     self.messages_sent += 1
                     any_message = True
             self.rounds_executed += 1
             next_outboxes: dict[Node, dict[Node, Any]] = {}
-            for node in self.graph.nodes():
-                outbox = programs[node].round(contexts[node], inboxes[node]) or {}
+            for node in nodes:
+                received = inboxes.get(node) or {}
+                outbox = programs[node].round(contexts[node], received) or {}
                 for target, message in outbox.items():
                     self._check(node, target, message)
                 next_outboxes[node] = outbox
@@ -140,7 +157,7 @@ class CongestNetwork:
             if (
                 not any_message
                 and all(not outbox for outbox in outboxes.values())
-                and all(programs[v].done(contexts[v]) for v in self.graph.nodes())
+                and all(programs[v].done(contexts[v]) for v in nodes)
             ):
                 # Quiescent: nothing in flight, nothing queued, all done.
                 break

@@ -12,11 +12,19 @@ Removing ``e`` and ``f`` splits ``T`` into three components; ``Cut(e, f)``
 is the weight of the bipartition separating the *middle* component from the
 other two -- :func:`cut_partition` materialises it.
 
-The :func:`two_respecting_oracle` computes the exact minimum over all pairs
-by dense matrix accumulation (O(m L^2) where L is the tree-path length); it
-is the ground truth every distributed solver in this package is validated
+The :func:`two_respecting_oracle` computes the exact minimum over all pairs;
+it is the ground truth every distributed solver in this package is validated
 against, and doubles as the fast centralized baseline of [GMW20]-style
 2-respecting computations.
+
+Every public function dispatches to the array-backed kernel
+(:mod:`repro.kernel`) by default -- vectorized LCA differencing for
+``Cov(e)`` and an O(n^2 + m) Euler prefix-sum formulation for the pair
+matrix -- and to the original pure-Python path accumulation (kept below as
+the ``*_legacy`` reference) when the kernel flag is off.  Callers that
+evaluate many trees of one graph can pass a pre-extracted
+:class:`~repro.kernel.cut_kernel.GraphArrays` to skip the per-tree edge
+scan.
 """
 
 from __future__ import annotations
@@ -27,6 +35,14 @@ from typing import Hashable
 import networkx as nx
 import numpy as np
 
+from repro.kernel.config import kernel_enabled
+from repro.kernel.cut_kernel import (
+    GraphArrays,
+    cover_values_kernel,
+    cut_partition_kernel,
+    pair_cover_matrix_kernel,
+    partition_cut_weight_arrays,
+)
 from repro.trees.rooted import Edge, Node, RootedTree, edge_key
 
 
@@ -56,8 +72,23 @@ def best_candidate(candidates) -> CutCandidate | None:
     return best
 
 
-def cover_values(graph: nx.Graph, tree: RootedTree) -> dict[Edge, float]:
-    """``Cov(e)`` for every tree edge, by direct path accumulation."""
+def cover_values(
+    graph: nx.Graph,
+    tree: RootedTree,
+    arrays: GraphArrays | None = None,
+) -> dict[Edge, float]:
+    """``Cov(e)`` for every tree edge.
+
+    Kernel path: vectorized +-w / -2w LCA differencing plus one Euler
+    prefix-sum subtree pass, O((n + m) log n).
+    """
+    if kernel_enabled():
+        return cover_values_kernel(graph, tree, arrays=arrays)
+    return cover_values_legacy(graph, tree)
+
+
+def cover_values_legacy(graph: nx.Graph, tree: RootedTree) -> dict[Edge, float]:
+    """Reference ``Cov(e)`` by direct path accumulation, O(m * pathlen)."""
     cov: dict[Edge, float] = {edge: 0.0 for edge in tree.edges()}
     for u, v, data in graph.edges(data=True):
         weight = data.get("weight", 1)
@@ -69,13 +100,25 @@ def cover_values(graph: nx.Graph, tree: RootedTree) -> dict[Edge, float]:
 
 
 def pair_cover_matrix(
-    graph: nx.Graph, tree: RootedTree
+    graph: nx.Graph,
+    tree: RootedTree,
+    arrays: GraphArrays | None = None,
 ) -> tuple[list[Edge], np.ndarray]:
     """``Cov(e, f)`` for every pair of tree edges, as a dense matrix.
 
     Returns the tree-edge list (fixing the index order) and the symmetric
     matrix ``M`` with ``M[i, j] = Cov(e_i, e_j)`` and ``M[i, i] = Cov(e_i)``.
+    Kernel path: O(n^2 + m) via 2D Euler prefix sums.
     """
+    if kernel_enabled():
+        return pair_cover_matrix_kernel(graph, tree, arrays=arrays)
+    return pair_cover_matrix_legacy(graph, tree)
+
+
+def pair_cover_matrix_legacy(
+    graph: nx.Graph, tree: RootedTree
+) -> tuple[list[Edge], np.ndarray]:
+    """Reference pair-cover matrix by path accumulation, O(m * pathlen^2)."""
     edges = list(tree.edges())
     index = {edge: i for i, edge in enumerate(edges)}
     matrix = np.zeros((len(edges), len(edges)), dtype=float)
@@ -90,18 +133,26 @@ def pair_cover_matrix(
     return edges, matrix
 
 
-def cut_matrix(graph: nx.Graph, tree: RootedTree) -> tuple[list[Edge], np.ndarray]:
+def cut_matrix(
+    graph: nx.Graph,
+    tree: RootedTree,
+    arrays: GraphArrays | None = None,
+) -> tuple[list[Edge], np.ndarray]:
     """``Cut(e_i, e_j)`` matrix; the diagonal holds 1-respecting values."""
-    edges, cov = pair_cover_matrix(graph, tree)
+    edges, cov = pair_cover_matrix(graph, tree, arrays=arrays)
     diag = np.diag(cov).copy()
     cuts = diag[:, None] + diag[None, :] - 2 * cov
     np.fill_diagonal(cuts, diag)
     return edges, cuts
 
 
-def two_respecting_oracle(graph: nx.Graph, tree: RootedTree) -> CutCandidate:
+def two_respecting_oracle(
+    graph: nx.Graph,
+    tree: RootedTree,
+    arrays: GraphArrays | None = None,
+) -> CutCandidate:
     """Exact minimum over all 1- and 2-respecting cuts (the ground truth)."""
-    edges, cuts = cut_matrix(graph, tree)
+    edges, cuts = cut_matrix(graph, tree, arrays=arrays)
     if not edges:
         raise ValueError("tree has no edges")
     flat = int(np.argmin(cuts))
@@ -117,8 +168,11 @@ def cut_partition(tree: RootedTree, edges: tuple[Edge, ...]) -> frozenset[Node]:
     For one edge: the bottom subtree.  For two edges: the middle component
     (between the two edges if nested, the root component otherwise -- in the
     non-nested case the returned side is the complement of the two bottom
-    subtrees, which induces the same bipartition).
+    subtrees, which induces the same bipartition).  Kernel path: preorder
+    interval slices instead of subtree set algebra.
     """
+    if kernel_enabled():
+        return cut_partition_kernel(tree, edges)
     if len(edges) == 1:
         return frozenset(tree.subtree_nodes(tree.bottom(edges[0])))
     if len(edges) != 2:
@@ -136,9 +190,18 @@ def cut_partition(tree: RootedTree, edges: tuple[Edge, ...]) -> frozenset[Node]:
 
 
 def partition_cut_weight(
-    graph: nx.Graph, side: frozenset[Node]
+    graph: nx.Graph,
+    side: frozenset[Node],
+    arrays: GraphArrays | None = None,
 ) -> tuple[float, list[tuple[Node, Node]]]:
-    """Weight and edge list of the cut induced by a node bipartition."""
+    """Weight and edge list of the cut induced by a node bipartition.
+
+    With pre-extracted ``arrays`` (and the kernel enabled) the membership
+    test runs as one boolean XOR over the whole edge list (self-loops
+    never cross, so dropping them from the arrays is value-preserving).
+    """
+    if arrays is not None and kernel_enabled():
+        return partition_cut_weight_arrays(arrays, side)
     crossing = []
     total = 0.0
     for u, v, data in graph.edges(data=True):

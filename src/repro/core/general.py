@@ -35,6 +35,7 @@ from repro.core.cut_values import (
     pair_cover_matrix,
 )
 from repro.core.one_respecting import one_respecting_cuts_fast
+from repro.kernel.cut_kernel import GraphArrays
 from repro.core.subtree_instance import (
     SubtreeInstance,
     SubtreeSolveStats,
@@ -286,8 +287,13 @@ class GeneralTwoRespectingSolver:
         return best_candidate(results)
 
     # ------------------------------------------------------------------
-    def solve(self, graph: nx.Graph, tree: RootedTree) -> TwoRespectingResult:
-        cov = one_respecting_cuts_fast(graph, tree, self.acct)
+    def solve(
+        self,
+        graph: nx.Graph,
+        tree: RootedTree,
+        arrays: "GraphArrays | None" = None,
+    ) -> TwoRespectingResult:
+        cov = one_respecting_cuts_fast(graph, tree, self.acct, arrays=arrays)
         one_best = best_candidate(
             CutCandidate(value=value, edges=(edge,)) for edge, value in cov.items()
         )
@@ -311,6 +317,7 @@ def two_respecting_min_cut(
     tree: nx.Graph | RootedTree,
     root: Node | None = None,
     accountant: RoundAccountant | None = None,
+    arrays: "GraphArrays | None" = None,
 ) -> TwoRespectingResult:
     """Theorem 40 entry point.
 
@@ -318,7 +325,8 @@ def two_respecting_min_cut(
     already-rooted :class:`RootedTree`.  Returns the best 1-/2-respecting
     cut with original tree-edge labels, the accumulated Minor-Aggregation
     round charges, and the recursion statistics the paper's invariants are
-    asserted against.
+    asserted against.  ``arrays`` (optional) is the pre-extracted edge
+    list of ``graph`` for callers solving many spanning trees.
     """
     if isinstance(tree, RootedTree):
         rooted = tree
@@ -327,4 +335,4 @@ def two_respecting_min_cut(
             root = min(tree.nodes(), key=lambda v: (type(v).__name__, str(v)))
         rooted = RootedTree(tree, root)
     solver = GeneralTwoRespectingSolver(accountant)
-    return solver.solve(graph, rooted)
+    return solver.solve(graph, rooted, arrays=arrays)

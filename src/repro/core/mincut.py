@@ -27,6 +27,8 @@ from repro.core.cut_values import (
 )
 from repro.core.general import GeneralSolveStats, two_respecting_min_cut
 from repro.core.tree_packing import TreePacking, pack_trees
+from repro.kernel.config import kernel_enabled
+from repro.kernel.cut_kernel import GraphArrays
 from repro.ma.simulation import CongestEstimates, congest_estimates
 from repro.trees.rooted import Edge, RootedTree
 
@@ -107,6 +109,11 @@ def minimum_cut(
         graph, seed=seed, num_trees=num_trees, accountant=acct
     )
 
+    # One edge-list extraction shared by every packed tree (the kernel
+    # re-maps node positions per tree in O(n) instead of rescanning the
+    # graph's m edges per tree).
+    arrays = GraphArrays.from_graph(graph) if kernel_enabled() else None
+
     best: CutCandidate | None = None
     best_index = -1
     best_rooted: RootedTree | None = None
@@ -115,9 +122,11 @@ def minimum_cut(
         root = min(tree.nodes(), key=lambda v: (type(v).__name__, str(v)))
         rooted = RootedTree(tree, root)
         if solver == "oracle":
-            candidate = two_respecting_oracle(graph, rooted)
+            candidate = two_respecting_oracle(graph, rooted, arrays=arrays)
         else:
-            result = two_respecting_min_cut(graph, rooted, accountant=acct)
+            result = two_respecting_min_cut(
+                graph, rooted, accountant=acct, arrays=arrays
+            )
             candidate = result.best
             solve_stats = result.stats
         if candidate.better_than(best):
@@ -127,8 +136,11 @@ def minimum_cut(
 
     assert best is not None and best_rooted is not None
     side = cut_partition(best_rooted, best.edges)
-    value, crossing = partition_cut_weight(graph, side)
-    if abs(value - best.value) > 1e-6:
+    value, crossing = partition_cut_weight(graph, side, arrays=arrays)
+    # Relative tolerance: candidate values come from prefix-sum/matrix
+    # accumulation whose float error scales with total graph weight, while
+    # the partition weight sums only the crossing edges.
+    if abs(value - best.value) > 1e-6 * max(1.0, abs(value)):
         raise AssertionError(
             f"cut witness inconsistent: candidate {best.value}, partition {value}"
         )

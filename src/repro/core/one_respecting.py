@@ -21,6 +21,8 @@ import networkx as nx
 
 from repro.accounting import RoundAccountant
 from repro.core.cut_values import CutCandidate, best_candidate
+from repro.kernel.config import kernel_enabled
+from repro.kernel.cut_kernel import GraphArrays, cover_values_kernel
 from repro.ma.engine import MinorAggregationEngine
 from repro.ma.operators import DICT_SUM, FIRST, SUM
 from repro.trees.hld import HeavyLightDecomposition, lca_from_hl_info
@@ -103,14 +105,24 @@ def one_respecting_cuts_fast(
     graph: nx.Graph,
     tree: RootedTree,
     accountant: RoundAccountant | None = None,
+    arrays: "GraphArrays | None" = None,
 ) -> dict[Edge, float]:
-    """Direct O(m + n) computation of the same values, charging the
-    documented Theorem 18 cost (used inside the 2-respecting solvers)."""
+    """Direct computation of the same values, charging the documented
+    Theorem 18 cost (used inside the 2-respecting solvers).
+
+    Kernel path: one vectorized LCA-differencing pass plus an Euler
+    prefix-sum subtree sum (``Cov(e) = Cut(e)``, Fact 5); the pure-Python
+    accumulation below is the legacy reference.  ``arrays`` skips the
+    per-call edge-list extraction when the caller shares one graph across
+    many trees.
+    """
     if accountant is not None:
         accountant.charge(
             accountant.cost.one_respecting(graph.number_of_nodes()),
             "one-respecting",
         )
+    if kernel_enabled():
+        return cover_values_kernel(graph, tree, arrays=arrays)
     vector = {v: 0.0 for v in tree.order}
     for u, v, data in graph.edges(data=True):
         weight = data.get("weight", 1)

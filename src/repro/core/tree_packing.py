@@ -25,6 +25,7 @@ import random
 from dataclasses import dataclass, field
 
 import networkx as nx
+import numpy as np
 
 from repro.accounting import RoundAccountant, log2ceil
 from repro.ma.boruvka import boruvka_mst
@@ -47,23 +48,34 @@ class TreePacking:
 def _sample_multiplicities(
     graph: nx.Graph, probability: float, rng: random.Random
 ) -> nx.Graph:
-    """Binomially subsample each edge's weight-as-multiplicity."""
+    """Binomially subsample each edge's weight-as-multiplicity.
+
+    One vectorized exact binomial draw over all edges (numpy's BTPE sampler
+    handles arbitrary multiplicities in O(1) each) replaces the former
+    per-unit Bernoulli loop, whose cost was O(total weight).  The generator
+    is seeded from ``rng``'s stream, so sampling stays a deterministic
+    function of the packing seed.  Caveat: NEP 19 lets Generator
+    distribution streams change between numpy feature releases, so
+    sampled-regime packings are reproducible per (seed, numpy version),
+    not across numpy upgrades.
+    """
     sampled = nx.Graph()
     sampled.add_nodes_from(graph.nodes())
+    pairs: list[tuple] = []
+    weights: list[int] = []
     for u, v, data in graph.edges(data=True):
         weight = int(round(data.get("weight", 1)))
         if weight <= 0:
             continue
-        if weight > 10_000:
-            # Normal approximation for huge multiplicities (exact binomial
-            # would be slow and the tail error is immaterial here).
-            mean = weight * probability
-            std = math.sqrt(weight * probability * (1 - probability))
-            kept = max(0, int(round(rng.gauss(mean, std))))
-        else:
-            kept = sum(1 for _ in range(weight) if rng.random() < probability)
-        if kept > 0:
-            sampled.add_edge(u, v, weight=kept)
+        pairs.append((u, v))
+        weights.append(weight)
+    if not pairs:
+        return sampled
+    generator = np.random.default_rng(rng.getrandbits(64))
+    kept = generator.binomial(np.array(weights, dtype=np.int64), probability)
+    for (u, v), count in zip(pairs, kept):
+        if count > 0:
+            sampled.add_edge(u, v, weight=int(count))
     return sampled
 
 

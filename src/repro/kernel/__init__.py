@@ -1,0 +1,34 @@
+"""Array-backed tree kernel (flat indices, Euler tours, vectorized covers).
+
+``TreeKernel`` is the per-tree index structure; ``cut_kernel`` holds the
+vectorized cover/cut computations built on it; ``config`` is the switch
+between the kernel paths and the pure-Python reference implementations.
+"""
+
+from repro.kernel.config import (
+    kernel_enabled,
+    set_kernel_enabled,
+    use_kernel,
+    use_legacy,
+)
+from repro.kernel.cut_kernel import (
+    GraphArrays,
+    cover_values_kernel,
+    cut_partition_kernel,
+    pair_cover_matrix_kernel,
+    partition_cut_weight_arrays,
+)
+from repro.kernel.tree_kernel import TreeKernel
+
+__all__ = [
+    "GraphArrays",
+    "TreeKernel",
+    "cover_values_kernel",
+    "cut_partition_kernel",
+    "kernel_enabled",
+    "pair_cover_matrix_kernel",
+    "partition_cut_weight_arrays",
+    "set_kernel_enabled",
+    "use_kernel",
+    "use_legacy",
+]

@@ -1,0 +1,53 @@
+"""Kernel on/off switch.
+
+The array-backed tree kernel is the default execution path for every
+cover/cut computation.  The pure-Python implementations are kept as the
+correctness reference; flip to them with the ``REPRO_TREE_KERNEL=legacy``
+environment variable, :func:`set_kernel_enabled`, or the
+:func:`use_legacy` context manager (the equivalence tests use the latter).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+_DISABLING = ("0", "off", "legacy", "false", "no")
+
+_enabled: bool | None = None
+
+
+def kernel_enabled() -> bool:
+    """Whether the array-backed kernel paths are active (default: yes)."""
+    global _enabled
+    if _enabled is None:
+        raw = os.environ.get("REPRO_TREE_KERNEL", "on")
+        _enabled = raw.strip().lower() not in _DISABLING
+    return _enabled
+
+
+def set_kernel_enabled(flag: bool) -> None:
+    global _enabled
+    _enabled = bool(flag)
+
+
+@contextmanager
+def use_legacy():
+    """Run a block on the pure-Python reference implementations."""
+    previous = kernel_enabled()
+    set_kernel_enabled(False)
+    try:
+        yield
+    finally:
+        set_kernel_enabled(previous)
+
+
+@contextmanager
+def use_kernel():
+    """Force the kernel paths on inside a block (testing helper)."""
+    previous = kernel_enabled()
+    set_kernel_enabled(True)
+    try:
+        yield
+    finally:
+        set_kernel_enabled(previous)

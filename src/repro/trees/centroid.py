@@ -47,7 +47,7 @@ def find_centroid(
         hld = HeavyLightDecomposition(tree)
         engine.acct.charge(engine.acct.cost.hld(len(tree)), label + ":hld")
     n = len(tree)
-    tree_edges = set(tree.edges())
+    tree_edges = tree.edge_set()
     sizes = subtree_sums(
         engine, tree, hld, {v: 1 for v in tree.order}, SUM, label=label + ":sizes"
     )

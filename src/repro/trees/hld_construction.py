@@ -18,9 +18,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.accounting import RoundAccountant, log2ceil
 from repro.trees.hld import HeavyLightDecomposition
-from repro.trees.rooted import Node, RootedTree
+from repro.trees.rooted import RootedTree
 from repro.trees.star_merge import star_merge
 
 
@@ -47,50 +49,8 @@ def build_hld_distributed(
     """
     acct = accountant or RoundAccountant()
     n = len(tree)
-    part_of: dict[Node, Node] = {node: node for node in tree.order}
-    members: dict[Node, set] = {node: {node} for node in tree.order}
-    #: shallowest node of each part (parts stay connected subtrees of T)
-    top_of: dict[Node, Node] = {node: node for node in tree.order}
-    part_counts = [len(members)]
-    iterations = 0
     max_iterations = 8 * log2ceil(n) + 8
-
-    while len(members) > 1 and iterations < max_iterations:
-        # Every part points at the part above it (the root part at None):
-        # the "mark the parent edge in T/P" step, one engine round.
-        successor: dict[Node, Node | None] = {}
-        for pid, top in top_of.items():
-            parent = tree.parent[top]
-            successor[pid] = part_of[parent] if parent is not None else None
-        acct.charge(1, "hld-construction:mark")
-
-        merge = star_merge(successor)
-        acct.charge(merge.rounds, "hld-construction:star-merge")
-        assert 3 * len(merge.joiners) >= sum(
-            1 for s in successor.values() if s is not None
-        ), "Lemma 44 joiner fraction violated"
-
-        for joiner in merge.joiners:
-            target = successor[joiner]
-            members[target] |= members[joiner]
-            for node in members[joiner]:
-                part_of[node] = target
-            if tree.depth[top_of[joiner]] < tree.depth[top_of[target]]:
-                top_of[target] = top_of[joiner]
-            del members[joiner]
-            del top_of[joiner]
-
-        # Receivers that grew recompute subtree sizes and HL-infos of their
-        # internal decomposition: one subtree sum + one ancestor sum
-        # (Lemma 46, engine-validated separately).
-        acct.charge(
-            2 * acct.cost.subtree_sum(n), "hld-construction:recompute"
-        )
-        iterations += 1
-        part_counts.append(len(members))
-
-    if len(members) > 1:  # pragma: no cover - the fraction bound forbids it
-        raise AssertionError("merge schedule failed to converge")
+    part_counts, iterations = _merge_schedule(tree, acct, max_iterations)
 
     # The final recomputation is with respect to the full tree, so the
     # result coincides with the direct decomposition.
@@ -101,3 +61,67 @@ def build_hld_distributed(
         ma_rounds=acct.total,
         part_counts=part_counts,
     )
+
+
+def _merge_schedule(
+    tree: RootedTree, acct: RoundAccountant, max_iterations: int
+) -> tuple[list[int], int]:
+    """The merge schedule, bookkept in the kernel's dense index space.
+
+    Part membership lives in a flat array (one vectorized assignment
+    relabels a whole merged part) and the parent/depth lookups come off
+    the kernel arrays.  The parts handed to :func:`star_merge` keep their
+    *node-object* identifiers, so the Cole-Vishkin coloring -- and with it
+    the schedule, the iteration count, and the charged rounds -- is
+    bit-identical to the historical dict-based loop (and independent of
+    the kernel dispatch flag: this is plain bookkeeping, not a dispatched
+    computation, so there is deliberately only one implementation).
+    """
+    kernel = tree.kernel
+    n = kernel.n
+    nodes, index = kernel.nodes, kernel.index
+    parent, depth = kernel.parent, kernel.depth
+    part_of = np.arange(n, dtype=np.int64)
+    members: dict[int, list[int]] = {i: [i] for i in range(n)}
+    #: shallowest node of each part (parts stay connected subtrees of T)
+    top_of: dict[int, int] = {i: i for i in range(n)}
+    part_counts = [n]
+    iterations = 0
+
+    while len(members) > 1 and iterations < max_iterations:
+        # Index 0 is the root (BFS order), whose part has no parent edge.
+        successor_idx: dict[int, int | None] = {
+            pid: int(part_of[parent[top]]) if top != 0 else None
+            for pid, top in top_of.items()
+        }
+        successor = {
+            nodes[pid]: nodes[succ] if succ is not None else None
+            for pid, succ in successor_idx.items()
+        }
+        acct.charge(1, "hld-construction:mark")
+
+        merge = star_merge(successor)
+        acct.charge(merge.rounds, "hld-construction:star-merge")
+        assert 3 * len(merge.joiners) >= sum(
+            1 for s in successor_idx.values() if s is not None
+        ), "Lemma 44 joiner fraction violated"
+
+        for joiner_node in merge.joiners:
+            joiner = index[joiner_node]
+            target = successor_idx[joiner]
+            absorbed = members.pop(joiner)
+            part_of[absorbed] = target
+            members[target].extend(absorbed)
+            if depth[top_of[joiner]] < depth[top_of[target]]:
+                top_of[target] = top_of[joiner]
+            del top_of[joiner]
+
+        acct.charge(
+            2 * acct.cost.subtree_sum(n), "hld-construction:recompute"
+        )
+        iterations += 1
+        part_counts.append(len(members))
+
+    if len(members) > 1:  # pragma: no cover - the fraction bound forbids it
+        raise AssertionError("merge schedule failed to converge")
+    return part_counts, iterations

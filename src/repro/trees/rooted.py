@@ -10,9 +10,14 @@ sets, depth, subtrees, descending paths, and the LCA.  A
 from __future__ import annotations
 
 from collections import deque
-from typing import Hashable, Iterable, Iterator
+from typing import TYPE_CHECKING, Hashable, Iterable, Iterator
 
 import networkx as nx
+
+from repro.kernel.config import kernel_enabled
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.kernel.tree_kernel import TreeKernel
 
 Node = Hashable
 Edge = tuple  # canonical (u, v) with a type-stable order
@@ -65,6 +70,20 @@ class RootedTree:
                 queue.append(nbr)
         if len(self.order) != tree.number_of_nodes():
             raise ValueError("input graph is not connected")
+        self._kernel: "TreeKernel | None" = None
+        self._edge_set: frozenset | None = None
+
+    # ------------------------------------------------------------------
+    # Array kernel (lazily attached; see repro.kernel)
+    # ------------------------------------------------------------------
+    @property
+    def kernel(self) -> "TreeKernel":
+        """The flat-array kernel of this tree, built on first use."""
+        if self._kernel is None:
+            from repro.kernel.tree_kernel import TreeKernel
+
+            self._kernel = TreeKernel(self)
+        return self._kernel
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -84,6 +103,12 @@ class RootedTree:
         for node in self.order:
             if node != self.root:
                 yield edge_key(node, self.parent[node])
+
+    def edge_set(self) -> frozenset:
+        """The tree edges as a cached frozenset (membership tests)."""
+        if self._edge_set is None:
+            self._edge_set = frozenset(self.edges())
+        return self._edge_set
 
     def edge_of(self, node: Node) -> Edge:
         """The parent edge of ``node`` (canonical key)."""
@@ -112,7 +137,12 @@ class RootedTree:
             current = self.parent[current]
 
     def is_ancestor(self, ancestor: Node, node: Node) -> bool:
-        """``ancestor`` lies on the root-to-``node`` path (inclusive)."""
+        """``ancestor`` lies on the root-to-``node`` path (inclusive).
+
+        Kernel path: an O(1) Euler-interval containment test.
+        """
+        if kernel_enabled():
+            return self.kernel.is_ancestor(ancestor, node)
         if self.depth[ancestor] > self.depth[node]:
             return False
         current = node
@@ -121,7 +151,9 @@ class RootedTree:
         return current == ancestor
 
     def lca(self, u: Node, v: Node) -> Node:
-        """Lowest common ancestor by walking up from the deeper node."""
+        """Lowest common ancestor (binary lifting on the kernel path)."""
+        if kernel_enabled():
+            return self.kernel.lca(u, v)
         while self.depth[u] > self.depth[v]:
             u = self.parent[u]
         while self.depth[v] > self.depth[u]:
@@ -135,7 +167,14 @@ class RootedTree:
     # Subtrees and paths
     # ------------------------------------------------------------------
     def subtree_nodes(self, node: Node) -> list[Node]:
-        """All descendants of ``node`` (inclusive), preorder."""
+        """All descendants of ``node`` (inclusive), preorder.
+
+        Kernel path: a single slice of the cached preorder sequence (the
+        kernel's Euler tour uses the same stack discipline, so the order
+        is identical to the legacy enumeration).
+        """
+        if kernel_enabled():
+            return self.kernel.subtree_nodes(node)
         result = []
         stack = [node]
         while stack:
@@ -145,7 +184,9 @@ class RootedTree:
         return result
 
     def subtree_sizes(self) -> dict[Node, int]:
-        """|desc(v)| for every node, computed bottom-up in one pass."""
+        """|desc(v)| for every node (Euler interval widths on the kernel)."""
+        if kernel_enabled():
+            return self.kernel.subtree_sizes()
         sizes = {node: 1 for node in self.order}
         for node in reversed(self.order):
             for child in self.children[node]:

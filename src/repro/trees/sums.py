@@ -122,7 +122,7 @@ def subtree_sums(
     if len(tree) == 1:
         return {tree.root: values[tree.root]}
     sums: dict[Node, Any] = {}
-    tree_edges = set(tree.edges())
+    tree_edges = tree.edge_set()
 
     for depth in range(hld.max_hl_depth(), -1, -1):
         paths = _node_paths_at_depth(tree, hld, depth)
@@ -180,7 +180,7 @@ def ancestor_sums(
     if len(tree) == 1:
         return {tree.root: values[tree.root]}
     sums: dict[Node, Any] = {}
-    tree_edges = set(tree.edges())
+    tree_edges = tree.edge_set()
 
     for depth in range(0, hld.max_hl_depth() + 1):
         paths = _node_paths_at_depth(tree, hld, depth)
