@@ -2,20 +2,26 @@
 """Run the benchmark suite and emit a BENCH_*.json trajectory file.
 
 Times every experiment module (E1-E15, ``quick=True`` -- the same code the
-report pipeline runs) plus the kernel-vs-legacy micro benchmarks, and
-writes median wall-clock per entry so future perf PRs have a committed
-baseline to diff against.
+report pipeline runs), the kernel-vs-legacy micro benchmarks, and the CSR
+subsystem benchmarks (construction + end-to-end min-cut, CSR vs networkx
+path), and writes median wall-clock per entry so future perf PRs have a
+committed baseline to diff against.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_benchmarks.py              # BENCH_PR1.json
+    PYTHONPATH=src python benchmarks/run_benchmarks.py              # BENCH_PR2.json
     PYTHONPATH=src python benchmarks/run_benchmarks.py --out X.json --repeats 5
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --compare BENCH_PR1.json
 
 The kernel micro section doubles as the acceptance check of PR 1: on a
 seeded n=512, m=2048 random graph the kernel-backed ``cover_values`` and
 ``two_respecting_oracle`` must be >= 5x faster than the legacy path with
 bit-identical cut values (recorded under ``kernel_micro`` and enforced
 with ``--check``; ``benchmarks/bench_kernel.py`` asserts the same bar).
+
+``--compare BASELINE.json`` is the regression gate: it exits non-zero when
+any kernel metric (the ``kernel_micro`` timings, plus the ``csr`` timings
+when the baseline has them) is more than 10% slower than the baseline.
 """
 
 from __future__ import annotations
@@ -51,6 +57,14 @@ KERNEL_MICRO_N = 512
 KERNEL_MICRO_M = 2048
 KERNEL_MICRO_SEED = 7
 SPEEDUP_FLOOR = 5.0
+
+CSR_BUILD_N = 2000
+CSR_BUILD_M = 8000
+CSR_E2E_N = 192
+CSR_E2E_M = 640
+CSR_SEED = 11
+#: --compare fails when a tracked metric is more than this much slower.
+REGRESSION_SLACK = 1.10
 
 
 def _timed(fn, repeats: int) -> tuple[list[float], object]:
@@ -133,14 +147,138 @@ def run_kernel_micro(repeats: int) -> dict:
     return rows
 
 
+def run_csr_bench(repeats: int) -> dict:
+    """CSR subsystem: construction, extraction, end-to-end min-cut."""
+    from repro.core.mincut import minimum_cut
+    from repro.graphs import csr_random_connected_gnm, random_connected_gnm
+    from repro.kernel.cut_kernel import GraphArrays
+
+    rows: dict = {}
+    micro_repeats = max(repeats, 5)
+
+    # Construction: CSR-direct vs the networkx boundary wrapper.
+    csr_build, csr_graph = _timed(
+        lambda: csr_random_connected_gnm(CSR_BUILD_N, CSR_BUILD_M, seed=CSR_SEED),
+        micro_repeats,
+    )
+    nx_build, nx_graph = _timed(
+        lambda: random_connected_gnm(CSR_BUILD_N, CSR_BUILD_M, seed=CSR_SEED),
+        micro_repeats,
+    )
+    rows["construct"] = {
+        "n": CSR_BUILD_N, "m": CSR_BUILD_M, "seed": CSR_SEED,
+        "csr_best_seconds": round(min(csr_build), 6),
+        "networkx_best_seconds": round(min(nx_build), 6),
+        "speedup": round(min(nx_build) / min(csr_build), 2),
+    }
+    print(
+        f"  construct ({CSR_BUILD_N}n/{CSR_BUILD_M}m)    "
+        f"csr {min(csr_build) * 1e3:8.2f} ms  nx {min(nx_build) * 1e3:8.2f} ms"
+        f"  speedup {rows['construct']['speedup']:6.1f}x"
+    )
+
+    # Shared-arrays extraction: the per-mincut O(m) step.
+    csr_extract, _ = _timed(lambda: GraphArrays.from_csr(csr_graph), micro_repeats)
+    nx_extract, _ = _timed(lambda: GraphArrays.from_graph(nx_graph), micro_repeats)
+    rows["extract_arrays"] = {
+        "csr_best_seconds": round(min(csr_extract), 6),
+        "networkx_best_seconds": round(min(nx_extract), 6),
+        "speedup": round(min(nx_extract) / min(csr_extract), 2),
+    }
+    print(
+        f"  extract_arrays               "
+        f"csr {min(csr_extract) * 1e3:8.2f} ms  nx {min(nx_extract) * 1e3:8.2f} ms"
+        f"  speedup {rows['extract_arrays']['speedup']:6.1f}x"
+    )
+
+    # End to end: generator -> packing -> batched oracle, both pipelines.
+    e2e_csr = csr_random_connected_gnm(CSR_E2E_N, CSR_E2E_M, seed=CSR_SEED)
+    e2e_nx = e2e_csr.to_networkx()
+    csr_solve, csr_result = _timed(
+        lambda: minimum_cut(
+            e2e_csr, seed=CSR_SEED, solver="oracle", compute_congest=False
+        ),
+        repeats,
+    )
+    nx_solve, nx_result = _timed(
+        lambda: minimum_cut(
+            e2e_nx, seed=CSR_SEED, solver="oracle", compute_congest=False
+        ),
+        repeats,
+    )
+    identical = (
+        csr_result.value == nx_result.value
+        and csr_result.partition == nx_result.partition
+    )
+    rows["mincut_oracle"] = {
+        "n": CSR_E2E_N, "m": CSR_E2E_M, "seed": CSR_SEED,
+        "csr_best_seconds": round(min(csr_solve), 6),
+        "networkx_best_seconds": round(min(nx_solve), 6),
+        "speedup": round(min(nx_solve) / min(csr_solve), 2),
+        "bit_identical": bool(identical),
+    }
+    print(
+        f"  mincut_oracle ({CSR_E2E_N}n)     "
+        f"csr {min(csr_solve) * 1e3:8.2f} ms  nx {min(nx_solve) * 1e3:8.2f} ms"
+        f"  speedup {rows['mincut_oracle']['speedup']:6.1f}x"
+        f"  identical={identical}"
+    )
+    return rows
+
+
+def _tracked_metrics(payload: dict) -> dict[str, float]:
+    """Flat name -> seconds for every regression-gated kernel metric."""
+    metrics: dict[str, float] = {}
+    for label, row in payload.get("kernel_micro", {}).items():
+        metrics[f"kernel_micro.{label}"] = row["kernel_best_seconds"]
+    for label, row in payload.get("csr", {}).items():
+        metrics[f"csr.{label}"] = row["csr_best_seconds"]
+    return metrics
+
+
+def compare_against(baseline_path: str, payload: dict) -> int:
+    """Exit status of the regression gate vs a committed baseline file."""
+    baseline = json.loads(Path(baseline_path).read_text())
+    base_metrics = _tracked_metrics(baseline)
+    new_metrics = _tracked_metrics(payload)
+    failures = []
+    print(f"regression gate vs {baseline_path} (>{REGRESSION_SLACK:.0%} fails):")
+    for name, base_seconds in sorted(base_metrics.items()):
+        if name not in new_metrics:
+            print(f"  {name:<42} missing in current run -- skipped")
+            continue
+        now = new_metrics[name]
+        ratio = now / base_seconds if base_seconds else 1.0
+        flag = "FAIL" if ratio > REGRESSION_SLACK else "ok"
+        print(
+            f"  {name:<42} {base_seconds * 1e3:9.2f} ms -> {now * 1e3:9.2f} ms"
+            f"  ({ratio:5.2f}x) {flag}"
+        )
+        if ratio > REGRESSION_SLACK:
+            failures.append(name)
+    if failures:
+        print(
+            f"FAIL: {len(failures)} kernel metric(s) regressed >10%: "
+            + ", ".join(failures),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR1.json")
+    parser.add_argument("--out", default="BENCH_PR2.json")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
         "--check",
         action="store_true",
         help=f"exit non-zero unless the kernel micro speedups are >= {SPEEDUP_FLOOR}x",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="BASELINE.json",
+        help="exit non-zero when any kernel metric is >10%% slower than the baseline",
     )
     args = parser.parse_args()
 
@@ -148,20 +286,24 @@ def main() -> int:
     experiments = run_experiments(args.repeats)
     print("kernel micro:")
     micro = run_kernel_micro(args.repeats)
+    print("csr subsystem:")
+    csr = run_csr_bench(args.repeats)
 
     payload = {
-        "schema": "repro-bench/1",
+        "schema": "repro-bench/2",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "repeats": args.repeats,
         "experiments": experiments,
         "kernel_micro": micro,
+        "csr": csr,
     }
     out_path = Path(args.out)
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out_path}")
 
     ok = all(row["bit_identical"] for row in micro.values())
+    ok = ok and csr["mincut_oracle"]["bit_identical"]
     fast_enough = all(row["speedup"] >= SPEEDUP_FLOOR for row in micro.values())
     if not ok:
         print("FAIL: kernel results are not identical to legacy", file=sys.stderr)
@@ -171,6 +313,8 @@ def main() -> int:
             f"FAIL: kernel speedup below {SPEEDUP_FLOOR}x", file=sys.stderr
         )
         return 1
+    if args.compare:
+        return compare_against(args.compare, payload)
     return 0
 
 

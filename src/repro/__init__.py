@@ -6,17 +6,22 @@ primitives of Appendix A, the 2-respecting solver chain (path-to-path, star,
 between-subtree, general), Karger-style tree packing, compile-down cost
 models to CONGEST, and the baselines they are measured against.
 
-Quickstart::
+Quickstart (CSR fast path -- flat-array graphs end to end)::
 
     import repro
-    from repro.graphs import random_connected_gnm
+    from repro.graphs import csr_random_connected_gnm
 
-    G = random_connected_gnm(60, 150, seed=1)
-    result = repro.minimum_cut(G, seed=1)
-    print(result.value, result.ma_rounds, result.congest.general)
+    G = csr_random_connected_gnm(60, 150, seed=1)
+    result = repro.minimum_cut(G, seed=1, solver="oracle")
+    print(result.value, result.ma_rounds)
+
+The networkx boundary stays supported: ``random_connected_gnm`` returns the
+same weighted graph as a ``networkx.Graph`` and ``minimum_cut`` accepts
+either type with bit-identical results.
 """
 
 from repro.accounting import CostModel, RoundAccountant
+from repro.graphs import CSRGraph
 from repro.core import (
     CutCandidate,
     MinCutResult,
@@ -39,6 +44,7 @@ from repro.ma import MinorAggregationEngine, congest_estimates
 __version__ = "1.1.0"
 
 __all__ = [
+    "CSRGraph",
     "TreeKernel",
     "kernel_enabled",
     "set_kernel_enabled",

@@ -16,13 +16,37 @@ from typing import Hashable
 
 import networkx as nx
 
+from repro.graphs.csr import CSRGraph
+
 Node = Hashable
 
 
 def stoer_wagner_min_cut(
-    graph: nx.Graph,
+    graph: "nx.Graph | CSRGraph",
 ) -> tuple[float, tuple[frozenset, frozenset]]:
-    """Exact minimum cut value and the corresponding node bipartition."""
+    """Exact minimum cut value and the corresponding node bipartition.
+
+    Accepts a networkx graph or a :class:`CSRGraph` (dense-index node
+    space; the adjacency dicts are seeded straight from the edge table).
+    """
+    if isinstance(graph, CSRGraph):
+        n = graph.n
+        if n < 2:
+            raise ValueError("minimum cut needs at least two nodes")
+        if not graph.is_connected():
+            raise ValueError("graph must be connected")
+        adjacency: dict[Node, dict[Node, float]] = {v: {} for v in range(n)}
+        for u, v, weight in zip(
+            graph.edge_u.tolist(), graph.edge_v.tolist(), graph.edge_w.tolist()
+        ):
+            if u == v:
+                continue
+            adjacency[u][v] = adjacency[u].get(v, 0) + weight
+            adjacency[v][u] = adjacency[v].get(u, 0) + weight
+        merged: dict[Node, set] = {v: {v} for v in range(n)}
+        all_nodes = frozenset(range(n))
+        return _stoer_wagner(adjacency, merged, all_nodes)
+
     n = graph.number_of_nodes()
     if n < 2:
         raise ValueError("minimum cut needs at least two nodes")
@@ -31,17 +55,23 @@ def stoer_wagner_min_cut(
 
     # Mutable weighted adjacency over supernodes; merged[v] tracks the
     # original nodes a supernode stands for.
-    adjacency: dict[Node, dict[Node, float]] = {
-        v: {} for v in graph.nodes()
-    }
+    adjacency = {v: {} for v in graph.nodes()}
     for u, v, data in graph.edges(data=True):
         if u == v:
             continue
         weight = data.get("weight", 1)
         adjacency[u][v] = adjacency[u].get(v, 0) + weight
         adjacency[v][u] = adjacency[v].get(u, 0) + weight
-    merged: dict[Node, set] = {v: {v} for v in graph.nodes()}
+    merged = {v: {v} for v in graph.nodes()}
     all_nodes = frozenset(graph.nodes())
+    return _stoer_wagner(adjacency, merged, all_nodes)
+
+
+def _stoer_wagner(
+    adjacency: dict[Node, dict[Node, float]],
+    merged: dict[Node, set],
+    all_nodes: frozenset,
+) -> tuple[float, tuple[frozenset, frozenset]]:
 
     best_value = float("inf")
     best_side: frozenset = frozenset()

@@ -3,14 +3,22 @@
 Usage (also available as ``python -m repro``):
 
     python -m repro mincut --edges network.txt
+    python -m repro mincut --edges network.npz
     python -m repro mincut --family delaunay --n 80 --seed 3 --verbose
-    python -m repro generate --family grid --n 49 --out grid.txt
+    python -m repro generate --family grid --n 49 --out grid.npz
     python -m repro info
 
 The ``mincut`` command reads a whitespace-separated edge list
-(``u v weight`` per line, weight optional) or generates one of the built-in
-families, runs the exact min-cut, and prints the value, the partition, the
-witness, and the round accounting.
+(``u v weight`` per line, weight optional) or a ``.npz`` CSR dump, or
+generates one of the built-in families, runs the exact min-cut, and prints
+the value, the partition, the witness, and the round accounting.
+
+Graphs are built on the CSR fast path by default.  With ``--solver
+oracle`` the whole pipeline stays on flat arrays (no networkx object is
+constructed); the default ``minor-aggregation`` solver simulates the
+paper's distributed recursion, which crosses the networkx boundary once
+per run.  ``--backend networkx`` forces the legacy reference path; both
+backends return bit-identical results.
 """
 
 from __future__ import annotations
@@ -22,6 +30,8 @@ import networkx as nx
 
 import repro
 from repro.graphs import (
+    CSR_FAMILY_BUILDERS,
+    CSRGraph,
     barbell_graph,
     cycle_graph,
     delaunay_planar_graph,
@@ -32,6 +42,7 @@ from repro.graphs import (
     tree_plus_chords,
 )
 
+#: networkx-returning builders (legacy backend and external callers).
 FAMILIES = {
     "gnm": lambda n, seed: random_connected_gnm(n, int(2.5 * n), seed=seed),
     "grid": lambda n, seed: grid_graph(
@@ -45,10 +56,32 @@ FAMILIES = {
     "planted": lambda n, seed: planted_cut_graph(n // 2, n - n // 2, seed=seed),
 }
 
+#: CSR-direct builders -- the same families, same seeds, same weighted
+#: graphs, no networkx object constructed.
+CSR_FAMILIES = CSR_FAMILY_BUILDERS
+
 
 def read_edge_list(path: str) -> nx.Graph:
-    """Parse ``u v [weight]`` lines; '#' starts a comment."""
-    graph = nx.Graph()
+    """Parse ``u v [weight]`` lines into a networkx graph; '#' comments.
+
+    Routed through the CSR reader so both backends enumerate edges in the
+    same canonical order -- which keeps ``--backend networkx`` runs
+    bit-identical to the CSR fast path on file inputs too.
+    """
+    return read_edge_list_csr(path).to_networkx()
+
+
+def read_edge_list_csr(path: str) -> CSRGraph:
+    """Parse ``u v [weight]`` lines straight into a CSR graph.
+
+    Node labels are the literal tokens (first-appearance order, matching
+    the networkx reader); repeated edges keep the last weight, like
+    repeated ``add_edge`` calls would.
+    """
+    return CSRGraph.from_edge_list(list(_parse_edge_lines(path)))
+
+
+def _parse_edge_lines(path: str):
     with open(path) as handle:
         for lineno, line in enumerate(handle, 1):
             line = line.split("#", 1)[0].strip()
@@ -57,23 +90,37 @@ def read_edge_list(path: str) -> nx.Graph:
             parts = line.split()
             if len(parts) < 2:
                 raise ValueError(f"{path}:{lineno}: expected 'u v [weight]'")
-            u, v = parts[0], parts[1]
             weight = int(parts[2]) if len(parts) > 2 else 1
-            graph.add_edge(u, v, weight=weight)
-    return graph
+            yield parts[0], parts[1], weight
 
 
-def write_edge_list(graph: nx.Graph, out) -> None:
+def write_edge_list(graph, out) -> None:
+    """Write ``u v weight`` lines (networkx or CSR input)."""
+    if isinstance(graph, CSRGraph):
+        labels = graph.node_labels()
+        weights = (
+            graph.edge_w.astype(int) if graph.int_weights else graph.edge_w
+        )
+        for a, b, w in zip(
+            graph.edge_u.tolist(), graph.edge_v.tolist(), weights.tolist()
+        ):
+            out.write(f"{labels[a]} {labels[b]} {w}\n")
+        return
     for u, v, data in graph.edges(data=True):
         out.write(f"{u} {v} {data.get('weight', 1)}\n")
 
 
-def _build_graph(args) -> nx.Graph:
+def _build_graph(args):
+    use_csr = getattr(args, "backend", "csr") == "csr"
     if args.edges:
-        return read_edge_list(args.edges)
-    if args.family not in FAMILIES:
-        raise SystemExit(f"unknown family {args.family!r}; try: {sorted(FAMILIES)}")
-    return FAMILIES[args.family](args.n, args.seed)
+        if args.edges.endswith(".npz"):
+            graph = CSRGraph.load_npz(args.edges)
+            return graph if use_csr else graph.to_networkx()
+        return (read_edge_list_csr if use_csr else read_edge_list)(args.edges)
+    families = CSR_FAMILIES if use_csr else FAMILIES
+    if args.family not in families:
+        raise SystemExit(f"unknown family {args.family!r}; try: {sorted(families)}")
+    return families[args.family](args.n, args.seed)
 
 
 def cmd_mincut(args) -> int:
@@ -92,6 +139,8 @@ def cmd_mincut(args) -> int:
           f"{tuple(map(str, result.respecting_edges))} "
           f"on packed tree #{result.best_tree_index}")
     if args.verbose:
+        backend = "csr" if isinstance(graph, CSRGraph) else "networkx"
+        print(f"backend       : {backend}")
         print(f"packed trees  : {len(result.packing.trees)} "
               f"(sampled={result.packing.sampled})")
         print(f"MA rounds     : {result.ma_rounds:,.0f}")
@@ -107,7 +156,11 @@ def cmd_mincut(args) -> int:
 
 def cmd_generate(args) -> int:
     graph = _build_graph(args)
-    if args.out:
+    if args.out and args.out.endswith(".npz"):
+        csr = graph if isinstance(graph, CSRGraph) else CSRGraph.from_networkx(graph)
+        csr.save_npz(args.out)
+        print(f"wrote {csr.n} nodes / {csr.m} edges to {args.out} (CSR)")
+    elif args.out:
         with open(args.out, "w") as handle:
             write_edge_list(graph, handle)
         print(f"wrote {graph.number_of_nodes()} nodes / "
@@ -122,6 +175,7 @@ def cmd_info(_args) -> int:
           "Exact Min-Cut (Ghaffari & Zuzic, PODC 2022)")
     print("families :", ", ".join(sorted(FAMILIES)))
     print("solvers  : minor-aggregation (full round accounting), oracle")
+    print("backends : csr (flat-array fast path, default), networkx")
     print("see also : python -m repro.experiments  (paper-vs-measured report)")
     return 0
 
@@ -133,10 +187,16 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_graph_args(p):
-        p.add_argument("--edges", help="edge-list file: 'u v [weight]' per line")
+        p.add_argument(
+            "--edges", help="edge-list file ('u v [weight]' per line) or .npz CSR dump"
+        )
         p.add_argument("--family", default="gnm", help="built-in family")
         p.add_argument("--n", type=int, default=40, help="graph size")
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--backend", default="csr", choices=["csr", "networkx"],
+            help="graph representation (csr = flat-array fast path)",
+        )
 
     p_mincut = sub.add_parser("mincut", help="compute the exact min-cut")
     add_graph_args(p_mincut)
@@ -150,7 +210,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_gen = sub.add_parser("generate", help="emit a generated edge list")
     add_graph_args(p_gen)
-    p_gen.add_argument("--out", help="output path (default: stdout)")
+    p_gen.add_argument("--out", help="output path (.txt edge list or .npz CSR)")
     p_gen.set_defaults(func=cmd_generate)
 
     p_info = sub.add_parser("info", help="package information")

@@ -20,6 +20,7 @@ from typing import Any, Callable, Hashable
 import networkx as nx
 
 from repro.accounting import log2ceil
+from repro.graphs.csr import CSRGraph
 from repro.ma.operators import estimate_bits
 
 Node = Hashable
@@ -65,35 +66,51 @@ class CongestNetwork:
 
     def __init__(
         self,
-        graph: nx.Graph,
+        graph: "nx.Graph | CSRGraph",
         message_bits: int | None = None,
         enforce_message_size: bool = True,
     ):
-        if not nx.is_connected(graph):
-            raise ValueError("CONGEST requires a connected graph")
+        # Topology is frozen at construction: neighbor lists are derived
+        # once here (not once per run) and _check consults the same frozen
+        # adjacency, so later graph mutation cannot be half-honored.  For
+        # a CSRGraph the lists come straight off indptr slices.
+        if isinstance(graph, CSRGraph):
+            if not graph.is_connected():
+                raise ValueError("CONGEST requires a connected graph")
+            self.n = graph.n
+            labels = graph.node_labels()
+            self._nodes: list[Node] = labels
+            self._neighbors: dict[Node, list[Node]] = {}
+            for i, node in enumerate(labels):
+                row = graph.neighbors(i)
+                self._neighbors[node] = sorted(
+                    (labels[j] for j in row.tolist() if j != i),
+                    key=lambda v: (type(v).__name__, str(v)),
+                )
+            self._edge_count = graph.m
+        else:
+            if not nx.is_connected(graph):
+                raise ValueError("CONGEST requires a connected graph")
+            self.n = graph.number_of_nodes()
+            self._nodes = list(graph.nodes())
+            self._neighbors = {
+                node: sorted(
+                    graph.neighbors(node),
+                    key=lambda v: (type(v).__name__, str(v)),
+                )
+                for node in self._nodes
+            }
+            self._edge_count = graph.number_of_edges()
         self.graph = graph
-        self.n = graph.number_of_nodes()
         self.message_bits = message_bits or 32 * log2ceil(self.n)
         self.enforce_message_size = enforce_message_size
         self.rounds_executed = 0
         self.messages_sent = 0
         self.max_message_bits_seen = 0
-        # Topology is frozen at construction: neighbor lists are sorted
-        # once here (not once per run) and _check consults the same frozen
-        # adjacency, so later graph mutation cannot be half-honored.
-        self._nodes: list[Node] = list(graph.nodes())
-        self._neighbors: dict[Node, list[Node]] = {
-            node: sorted(
-                graph.neighbors(node),
-                key=lambda v: (type(v).__name__, str(v)),
-            )
-            for node in self._nodes
-        }
         self._neighbor_sets: dict[Node, frozenset] = {
             node: frozenset(neighbors)
             for node, neighbors in self._neighbors.items()
         }
-        self._edge_count = graph.number_of_edges()
 
     def _check(self, sender: Node, target: Node, message: Any) -> None:
         if target not in self._neighbor_sets[sender]:

@@ -35,6 +35,7 @@ from typing import Hashable
 import networkx as nx
 import numpy as np
 
+from repro.graphs.csr import CSRGraph
 from repro.kernel.config import kernel_enabled
 from repro.kernel.cut_kernel import (
     GraphArrays,
@@ -44,6 +45,11 @@ from repro.kernel.cut_kernel import (
     partition_cut_weight_arrays,
 )
 from repro.trees.rooted import Edge, Node, RootedTree, edge_key
+
+
+def _kernel_active(graph) -> bool:
+    """CSR inputs always run the array kernel; networkx follows the flag."""
+    return isinstance(graph, CSRGraph) or kernel_enabled()
 
 
 @dataclass(frozen=True)
@@ -73,7 +79,7 @@ def best_candidate(candidates) -> CutCandidate | None:
 
 
 def cover_values(
-    graph: nx.Graph,
+    graph: "nx.Graph | CSRGraph",
     tree: RootedTree,
     arrays: GraphArrays | None = None,
 ) -> dict[Edge, float]:
@@ -82,7 +88,7 @@ def cover_values(
     Kernel path: vectorized +-w / -2w LCA differencing plus one Euler
     prefix-sum subtree pass, O((n + m) log n).
     """
-    if kernel_enabled():
+    if _kernel_active(graph):
         return cover_values_kernel(graph, tree, arrays=arrays)
     return cover_values_legacy(graph, tree)
 
@@ -100,7 +106,7 @@ def cover_values_legacy(graph: nx.Graph, tree: RootedTree) -> dict[Edge, float]:
 
 
 def pair_cover_matrix(
-    graph: nx.Graph,
+    graph: "nx.Graph | CSRGraph",
     tree: RootedTree,
     arrays: GraphArrays | None = None,
 ) -> tuple[list[Edge], np.ndarray]:
@@ -110,7 +116,7 @@ def pair_cover_matrix(
     matrix ``M`` with ``M[i, j] = Cov(e_i, e_j)`` and ``M[i, i] = Cov(e_i)``.
     Kernel path: O(n^2 + m) via 2D Euler prefix sums.
     """
-    if kernel_enabled():
+    if _kernel_active(graph):
         return pair_cover_matrix_kernel(graph, tree, arrays=arrays)
     return pair_cover_matrix_legacy(graph, tree)
 
@@ -134,7 +140,7 @@ def pair_cover_matrix_legacy(
 
 
 def cut_matrix(
-    graph: nx.Graph,
+    graph: "nx.Graph | CSRGraph",
     tree: RootedTree,
     arrays: GraphArrays | None = None,
 ) -> tuple[list[Edge], np.ndarray]:
@@ -147,7 +153,7 @@ def cut_matrix(
 
 
 def two_respecting_oracle(
-    graph: nx.Graph,
+    graph: "nx.Graph | CSRGraph",
     tree: RootedTree,
     arrays: GraphArrays | None = None,
 ) -> CutCandidate:
@@ -190,7 +196,7 @@ def cut_partition(tree: RootedTree, edges: tuple[Edge, ...]) -> frozenset[Node]:
 
 
 def partition_cut_weight(
-    graph: nx.Graph,
+    graph: "nx.Graph | CSRGraph",
     side: frozenset[Node],
     arrays: GraphArrays | None = None,
 ) -> tuple[float, list[tuple[Node, Node]]]:
@@ -199,7 +205,12 @@ def partition_cut_weight(
     With pre-extracted ``arrays`` (and the kernel enabled) the membership
     test runs as one boolean XOR over the whole edge list (self-loops
     never cross, so dropping them from the arrays is value-preserving).
+    CSR inputs always take the array path (``side`` in index space).
     """
+    if isinstance(graph, CSRGraph):
+        return partition_cut_weight_arrays(
+            arrays if arrays is not None else GraphArrays.from_csr(graph), side
+        )
     if arrays is not None and kernel_enabled():
         return partition_cut_weight_arrays(arrays, side)
     crossing = []

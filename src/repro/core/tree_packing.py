@@ -16,33 +16,55 @@ Substitution note (DESIGN.md): the sampling threshold needs a constant
 approximation of the min-cut value; the paper uses the Õ(1)-round
 (1+eps)-approximation of [GH16], we use our own Stoer-Wagner's exact value
 -- only the sampling probability depends on it.
+
+Two execution paths share every decision:
+
+* **networkx** input runs the engine-genuine Boruvka (one Minor-Aggregation
+  round per phase);
+* **CSR** input (:class:`~repro.graphs.csr.CSRGraph`) runs a vectorized
+  Boruvka over the flat edge table -- per phase one component labelling,
+  one masked ``minimum.at`` scatter, zero networkx objects -- with the
+  *same* deterministic tie-break (``(cost, str(edge))``), the same
+  sampling draws (one binomial over the canonical edge order), and the
+  same round charges, so both paths pack identical trees for identical
+  graphs.  CSR trees are returned as plain adjacency mappings (what
+  :class:`~repro.trees.rooted.RootedTree` consumes directly).
 """
 
 from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import networkx as nx
 import numpy as np
 
 from repro.accounting import RoundAccountant, log2ceil
+from repro.graphs.csr import CSRGraph, DisjointSets
 from repro.ma.boruvka import boruvka_mst
 from repro.ma.engine import MinorAggregationEngine
-from repro.trees.rooted import Edge, edge_key
+from repro.trees.rooted import Edge, _node_sort_key, edge_key
 
 
 @dataclass
 class TreePacking:
-    """The packed spanning trees plus provenance of how they were obtained."""
+    """The packed spanning trees plus provenance of how they were obtained.
 
-    trees: list[nx.Graph]
+    ``trees`` holds :class:`networkx.Graph` objects on the networkx path
+    and plain ``{node: [neighbors]}`` adjacency mappings on the CSR path.
+    """
+
+    trees: list
     sampled: bool
     sampling_probability: float | None
     approx_cut_value: float
     ma_rounds: float
     duplicates_removed: int = 0
+
+
+def _edge_order_key(edge: Edge) -> tuple:
+    return (_node_sort_key(edge[0]), _node_sort_key(edge[1]))
 
 
 def _sample_multiplicities(
@@ -79,19 +101,41 @@ def _sample_multiplicities(
     return sampled
 
 
+def _sample_multiplicities_csr(
+    graph: CSRGraph, probability: float, rng: random.Random
+) -> CSRGraph:
+    """CSR twin of :func:`_sample_multiplicities`: same draws, same order."""
+    weights = np.rint(graph.edge_w).astype(np.int64)
+    positive = weights > 0
+    generator = np.random.default_rng(rng.getrandbits(64))
+    kept = generator.binomial(weights[positive], probability)
+    survivors = kept > 0
+    u = graph.edge_u[positive][survivors]
+    v = graph.edge_v[positive][survivors]
+    return CSRGraph(
+        graph.n, u, v, kept[survivors].astype(np.float64),
+        nodes=graph.nodes, canonical=True,
+    )
+
+
 def default_tree_count(n: int) -> int:
     """Θ(log n) trees -- the collection size of Theorem 12."""
     return 3 * log2ceil(n) + 8
 
 
 def pack_trees(
-    graph: nx.Graph,
+    graph: "nx.Graph | CSRGraph",
     seed: int = 0,
     num_trees: int | None = None,
     accountant: RoundAccountant | None = None,
     approx_cut_value: float | None = None,
 ) -> TreePacking:
     """Theorem 12: pack Θ(log n) spanning trees by greedy load-balancing."""
+    if isinstance(graph, CSRGraph):
+        return _pack_trees_csr(
+            graph, seed=seed, num_trees=num_trees, accountant=accountant,
+            approx_cut_value=approx_cut_value,
+        )
     n = graph.number_of_nodes()
     if n < 2:
         raise ValueError("need at least two nodes to pack trees")
@@ -147,7 +191,10 @@ def pack_trees(
         seen.add(signature)
         tree = nx.Graph()
         tree.add_nodes_from(graph.nodes())
-        for u, v in mst_edges:
+        # Deterministic insertion order: the adjacency (and hence every
+        # downstream BFS / preorder) must not depend on set iteration
+        # order, so both execution paths root identical trees.
+        for u, v in sorted(mst_edges, key=_edge_order_key):
             tree.add_edge(u, v, weight=graph[u][v].get("weight", 1))
         trees.append(tree)
     return TreePacking(
@@ -158,3 +205,145 @@ def pack_trees(
         ma_rounds=acct.total,
         duplicates_removed=duplicates,
     )
+
+
+# ----------------------------------------------------------------------
+# CSR-native path
+# ----------------------------------------------------------------------
+def _pack_trees_csr(
+    graph: CSRGraph,
+    seed: int,
+    num_trees: int | None,
+    accountant: RoundAccountant | None,
+    approx_cut_value: float | None,
+) -> TreePacking:
+    n = graph.n
+    if n < 2:
+        raise ValueError("need at least two nodes to pack trees")
+    acct = accountant or RoundAccountant()
+    rng = random.Random(seed)
+    if num_trees is None:
+        num_trees = default_tree_count(n)
+
+    if approx_cut_value is None:
+        from repro.baselines.stoer_wagner import stoer_wagner_min_cut
+
+        approx_cut_value, _partition = stoer_wagner_min_cut(graph)
+        acct.charge(log2ceil(n) ** 2, "packing:approx-min-cut")
+
+    target = 24.0 * max(1.0, math.log(n))
+    packing_graph = graph
+    sampled = False
+    probability: float | None = None
+    if approx_cut_value > 2 * target:
+        probability = min(1.0, target / approx_cut_value)
+        for _attempt in range(6):
+            candidate = _sample_multiplicities_csr(graph, probability, rng)
+            if candidate.is_connected():
+                packing_graph = candidate
+                sampled = True
+                break
+            probability = min(1.0, 2 * probability)
+        acct.charge(1, "packing:sampling")
+
+    eu, ev = packing_graph.edge_u, packing_graph.edge_v
+    multiplicity = np.maximum(packing_graph.edge_w, 1e-12)
+    uses = np.zeros(packing_graph.m, dtype=np.int64)
+    # The engine path breaks cost ties by str(edge) where the edge is the
+    # *edge_key* tuple in label space (endpoints ordered by string, not by
+    # index -- edge_key(4, 10) is (10, 4)).  Precompute those exact
+    # strings once as an integer rank so the vectorized argmin agrees tie
+    # for tie, on labelled graphs too.
+    node_labels = graph.node_labels()
+    canonical = [
+        edge_key(node_labels[u], node_labels[v])
+        for u, v in zip(eu.tolist(), ev.tolist())
+    ]
+    labels = np.array([str(pair) for pair in canonical], dtype=np.str_)
+    str_rank = np.empty(len(labels), dtype=np.int64)
+    str_rank[np.argsort(labels)] = np.arange(len(labels), dtype=np.int64)
+
+    trees: list[dict[int, list[int]]] = []
+    seen: set[frozenset] = set()
+    duplicates = 0
+    for _iteration in range(num_trees):
+        cost = uses / multiplicity
+        mst_ids = _boruvka_csr(
+            n, eu, ev, cost, str_rank, acct, "packing:boruvka"
+        )
+        uses[mst_ids] += 1
+        signature = frozenset(mst_ids.tolist())
+        if signature in seen:
+            duplicates += 1
+            continue
+        seen.add(signature)
+        # Insert tree edges in the label-space edge_key order the
+        # networkx path uses, so the BFS adjacency sequences (and hence
+        # every preorder downstream) correspond 1:1 across paths.
+        chosen = sorted(
+            mst_ids.tolist(), key=lambda e: _edge_order_key(canonical[e])
+        )
+        adjacency: dict[int, list[int]] = {v: [] for v in range(n)}
+        for e in chosen:
+            u, v = int(eu[e]), int(ev[e])
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+        trees.append(adjacency)
+    return TreePacking(
+        trees=trees,
+        sampled=sampled,
+        sampling_probability=probability,
+        approx_cut_value=approx_cut_value,
+        ma_rounds=acct.total,
+        duplicates_removed=duplicates,
+    )
+
+
+def _boruvka_csr(
+    n: int,
+    eu: np.ndarray,
+    ev: np.ndarray,
+    cost: np.ndarray,
+    str_rank: np.ndarray,
+    acct: RoundAccountant,
+    label: str,
+) -> np.ndarray:
+    """Vectorized Boruvka over the flat edge table.
+
+    Per phase: one union-find labelling, one masked ``minimum.at`` over the
+    (cost, str)-order positions, one union sweep -- the exact per-supernode
+    minimum the engine's MIN-aggregation computes, at numpy speed.  Charges
+    one Minor-Aggregation round per phase, like the engine path.
+    """
+    m = len(eu)
+    order = np.lexsort((str_rank, cost))
+    position = np.empty(m, dtype=np.int64)
+    position[order] = np.arange(m, dtype=np.int64)
+
+    components = DisjointSets(n)
+    in_tree = np.zeros(m, dtype=bool)
+    phases = log2ceil(n) + 1
+    sentinel = m
+    for _phase in range(phases):
+        acct.charge(1, label)
+        find = components.find
+        component = np.fromiter(
+            (find(i) for i in range(n)), dtype=np.int64, count=n
+        )
+        cu = component[eu]
+        cv = component[ev]
+        outgoing = cu != cv
+        if not outgoing.any():
+            break
+        best = np.full(n, sentinel, dtype=np.int64)
+        np.minimum.at(best, cu[outgoing], position[outgoing])
+        np.minimum.at(best, cv[outgoing], position[outgoing])
+        winners = np.unique(best[best < sentinel])
+        chosen = order[winners]
+        fresh = chosen[~in_tree[chosen]]
+        if not len(fresh):
+            break
+        in_tree[fresh] = True
+        for e in fresh.tolist():
+            components.union(int(eu[e]), int(ev[e]))
+    return np.nonzero(in_tree)[0]

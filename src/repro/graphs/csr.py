@@ -1,0 +1,593 @@
+"""CSR weighted-graph core: the native interchange type of the pipeline.
+
+A :class:`CSRGraph` stores a weighted undirected graph as flat numpy
+arrays and is the canonical representation the hot pipeline runs on
+(generators -> tree packing -> batched per-tree solves -> oracle), with
+networkx supported only at the boundary via :meth:`from_networkx` /
+:meth:`to_networkx`.
+
+Layout
+------
+Two aligned views of the same edge set:
+
+* **edge table** -- ``edge_u``, ``edge_v``, ``edge_w``: one row per
+  undirected edge in *canonical order* (``edge_u <= edge_v`` per row by
+  node index, rows sorted lexicographically, parallel edges merged by
+  weight summation).  Every per-edge vector computation (weight draws,
+  Karger sampling, Boruvka costs, cover scatter) runs over this table.
+* **CSR adjacency** -- ``indptr``, ``indices``, ``adj_weight``,
+  ``adj_edge``: node ``i``'s neighbors are
+  ``indices[indptr[i]:indptr[i+1]]`` (sorted by neighbor index), with
+  the parallel arrays carrying the edge weight and the edge-table row of
+  each adjacency slot.  This is what BFS, the CONGEST simulator, and the
+  Minor-Aggregation engine consume instead of dict scans.
+
+Nodes are dense indices ``0..n-1``.  Arbitrary hashable labels are
+supported through the optional ``nodes`` table (``nodes[i]`` is the
+label of index ``i``); ``nodes is None`` means the labels *are* the
+indices, which is the zero-overhead fast path every generator uses.
+
+Weights are float64 internally (what the kernel consumes) and validated
+at construction: NaN, infinity, and negative weights are rejected with a
+clear error instead of surfacing as a witness-consistency failure deep
+inside ``mincut``.  Zero-weight edges and self-loops are representable;
+cut machinery ignores self-loops (they never cross a cut) and keeps
+zero-weight edges reportable as crossing witnesses.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+Node = Hashable
+
+__all__ = ["CSRGraph", "DisjointSets", "validate_weights"]
+
+
+class DisjointSets:
+    """Array union-find over dense indices ``0..n-1`` (path halving).
+
+    Shared by the CSR spanning-tree and Boruvka implementations so the
+    structure lives in one place.
+    """
+
+    __slots__ = ("parent",)
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the two sets; returns False when already joined."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self.parent[ra] = rb
+        return True
+
+
+def validate_weights(weights, context: str = "graph") -> np.ndarray:
+    """One dtype-checked conversion to float64, rejecting bad weights.
+
+    Raises ``ValueError`` naming the offending position for non-numeric,
+    NaN, infinite, or negative entries.
+    """
+    try:
+        array = np.asarray(weights, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(
+            f"{context}: edge weights must be numeric, got "
+            f"{type(weights).__name__} that does not convert to float64 ({exc})"
+        ) from None
+    if array.ndim != 1:
+        array = array.reshape(-1)
+    bad = ~np.isfinite(array)
+    if bad.any():
+        i = int(np.argmax(bad))
+        raise ValueError(
+            f"{context}: edge weight at position {i} is {array[i]} "
+            "(NaN/inf weights are not allowed)"
+        )
+    negative = array < 0
+    if negative.any():
+        i = int(np.argmax(negative))
+        raise ValueError(
+            f"{context}: edge weight at position {i} is {array[i]} "
+            "(negative weights are not allowed; the paper's model uses "
+            "non-negative poly(n) integers)"
+        )
+    return array
+
+
+def _as_index_array(values, n: int, what: str) -> np.ndarray:
+    array = np.asarray(values, dtype=np.int64).reshape(-1)
+    if len(array) and (array.min() < 0 or array.max() >= n):
+        raise ValueError(f"{what}: node index out of range [0, {n})")
+    return array
+
+
+class CSRGraph:
+    """Weighted undirected graph in canonical CSR form."""
+
+    __slots__ = (
+        "n", "edge_u", "edge_v", "edge_w",
+        "indptr", "indices", "adj_weight", "adj_edge",
+        "nodes", "meta", "int_weights", "_index",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        edge_u,
+        edge_v,
+        edge_w=None,
+        nodes: Sequence[Node] | None = None,
+        meta: dict | None = None,
+        canonical: bool = False,
+    ):
+        if n < 0:
+            raise ValueError("need a non-negative node count")
+        if nodes is not None:
+            nodes = list(nodes)
+            if len(nodes) != n:
+                raise ValueError(f"node table has {len(nodes)} labels for n={n}")
+            if all(label == i for i, label in enumerate(nodes)):
+                nodes = None  # identity labels: use the zero-overhead path
+        self.n = int(n)
+        self.nodes = nodes
+        self.meta = dict(meta) if meta else {}
+        self._index: dict | None = None
+
+        u = _as_index_array(edge_u, n, "edge_u")
+        v = _as_index_array(edge_v, n, "edge_v")
+        if len(u) != len(v):
+            raise ValueError("edge_u and edge_v lengths differ")
+        if edge_w is None:
+            w = np.ones(len(u), dtype=np.float64)
+        else:
+            w = validate_weights(edge_w, context="CSRGraph")
+            if len(w) != len(u):
+                raise ValueError("edge weight array length differs from edges")
+
+        if not canonical:
+            u, v, w = _canonicalize(u, v, w)
+        self.edge_u = u
+        self.edge_v = v
+        self.edge_w = w
+        self.int_weights = bool(len(w) == 0 or np.all(w == np.floor(w)))
+        self._build_adjacency()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_adjacency(self) -> None:
+        """Both directions of the edge table, grouped per node (vectorized)."""
+        u, v, w = self.edge_u, self.edge_v, self.edge_w
+        loops = u == v
+        m = len(u)
+        eid = np.arange(m, dtype=np.int64)
+        # Self-loops get a single adjacency slot (node -> itself).
+        keep = ~loops
+        src = np.concatenate([u, v[keep]])
+        dst = np.concatenate([v, u[keep]])
+        wgt = np.concatenate([w, w[keep]])
+        ids = np.concatenate([eid, eid[keep]])
+        order = np.lexsort((dst, src))
+        self.indices = dst[order]
+        self.adj_weight = wgt[order]
+        self.adj_edge = ids[order]
+        counts = np.bincount(src, minlength=self.n)
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        self.indptr = indptr
+
+    @classmethod
+    def from_edge_list(
+        cls,
+        edges: Iterable[tuple],
+        n: int | None = None,
+        nodes: Sequence[Node] | None = None,
+        default_weight: float = 1.0,
+        meta: dict | None = None,
+    ) -> "CSRGraph":
+        """Build from ``(u, v)`` / ``(u, v, w)`` tuples.
+
+        When *every* endpoint is a plain integer (and no node table is
+        given) the integers are taken as dense indices directly.  In every
+        other case all endpoints -- integers included -- become labels in
+        a first-appearance node table, which matches networkx insertion
+        semantics (``"a"`` and ``0`` stay distinct nodes).  Later
+        duplicate rows *overwrite* earlier ones (edge-list-file
+        semantics); use the raw constructor to merge parallel edges by
+        summation instead.
+        """
+        rows: list[tuple[Node, Node, float]] = []
+        for row in edges:
+            if len(row) == 2:
+                a, b = row
+                weight = default_weight
+            else:
+                a, b, weight = row
+            rows.append((a, b, weight))
+
+        def is_index(x) -> bool:
+            return isinstance(x, (int, np.integer)) and not isinstance(x, bool)
+
+        implicit = nodes is None
+        identity = implicit and all(
+            is_index(a) and is_index(b) for a, b, _w in rows
+        )
+        labels: list[Node] = list(nodes) if nodes is not None else []
+        index: dict[Node, int] = {label: i for i, label in enumerate(labels)}
+
+        def resolve(label: Node) -> int:
+            if identity:
+                return int(label)
+            if label not in index:
+                if not implicit:
+                    raise ValueError(f"unknown node label {label!r}")
+                index[label] = len(labels)
+                labels.append(label)
+            return index[label]
+
+        dedup: dict[tuple, float] = {}
+        for a, b, weight in rows:
+            ia, ib = resolve(a), resolve(b)
+            dedup[(ia, ib) if ia <= ib else (ib, ia)] = weight
+
+        count = n
+        if count is None:
+            count = len(labels) if labels else (
+                max((max(a, b) for a, b in dedup), default=-1) + 1
+            )
+        elif labels and len(labels) != count:
+            raise ValueError(
+                f"n={count} disagrees with the {len(labels)} node labels "
+                "appearing in the edge list"
+            )
+        m = len(dedup)
+        u = np.empty(m, dtype=np.int64)
+        v = np.empty(m, dtype=np.int64)
+        w = np.empty(m, dtype=np.float64)
+        for i, ((a, b), weight) in enumerate(dedup.items()):
+            u[i] = a
+            v[i] = b
+            w[i] = weight
+        return cls(count, u, v, w, nodes=labels or None, meta=meta)
+
+    @classmethod
+    def from_networkx(cls, graph) -> "CSRGraph":
+        """Boundary conversion from a networkx graph (weights validated)."""
+        node_list = list(graph.nodes())
+        n = len(node_list)
+        identity = all(
+            isinstance(x, (int, np.integer)) and not isinstance(x, bool) and x == i
+            for i, x in enumerate(node_list)
+        )
+        position = None if identity else {x: i for i, x in enumerate(node_list)}
+        m = graph.number_of_edges()
+        u = np.empty(m, dtype=np.int64)
+        v = np.empty(m, dtype=np.int64)
+        w = [None] * m
+        for i, (a, b, weight) in enumerate(graph.edges(data="weight", default=1)):
+            u[i] = a if position is None else position[a]
+            v[i] = b if position is None else position[b]
+            w[i] = weight
+        weights = validate_weights(w, context="from_networkx")
+        return cls(
+            n, u, v, weights,
+            nodes=None if identity else node_list,
+            meta=dict(graph.graph),
+        )
+
+    def to_networkx(self):
+        """Boundary conversion to a weighted ``networkx.Graph``.
+
+        Integral weights come back as Python ints (the paper's weight
+        model); node labels are restored from the node table.  Edge
+        insertion follows the canonical order, so for identity-labelled
+        graphs ``graph.edges()`` enumerates edges exactly in the CSR
+        edge-table order.
+        """
+        import networkx as nx
+
+        graph = nx.Graph()
+        if self.nodes is None:
+            graph.add_nodes_from(range(self.n))
+            pairs = zip(self.edge_u.tolist(), self.edge_v.tolist())
+        else:
+            graph.add_nodes_from(self.nodes)
+            labels = self.nodes
+            pairs = (
+                (labels[a], labels[b])
+                for a, b in zip(self.edge_u.tolist(), self.edge_v.tolist())
+            )
+        weights = (
+            (int(x) for x in self.edge_w.tolist())
+            if self.int_weights
+            else iter(self.edge_w.tolist())
+        )
+        graph.add_weighted_edges_from(
+            (a, b, w) for (a, b), w in zip(pairs, weights)
+        )
+        graph.graph.update(self.meta)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save_npz(self, path) -> None:
+        """Write the canonical arrays to a compressed ``.npz`` file.
+
+        A node table survives the round trip when its labels are all
+        integers (stored as int64) or all strings; anything else is
+        rejected rather than silently coerced.  ``meta`` is not persisted
+        -- it may hold non-array payloads like planted partitions.
+        """
+        payload = {
+            "format": np.array("repro-csr/1"),
+            "n": np.array(self.n, dtype=np.int64),
+            "edge_u": self.edge_u,
+            "edge_v": self.edge_v,
+            "edge_w": self.edge_w,
+        }
+        if self.nodes is not None:
+            if all(
+                isinstance(x, (int, np.integer)) and not isinstance(x, bool)
+                for x in self.nodes
+            ):
+                payload["labels"] = np.array(self.nodes, dtype=np.int64)
+            elif all(isinstance(x, str) for x in self.nodes):
+                payload["labels"] = np.array(self.nodes)
+            else:
+                raise ValueError(
+                    "save_npz supports all-int or all-str node labels; "
+                    "relabel the graph before persisting"
+                )
+        np.savez_compressed(path, **payload)
+
+    @classmethod
+    def load_npz(cls, path) -> "CSRGraph":
+        with np.load(path, allow_pickle=False) as data:
+            if "edge_u" not in data or "n" not in data:
+                raise ValueError(f"{path}: not a repro CSR graph file")
+            nodes = data["labels"].tolist() if "labels" in data else None
+            return cls(
+                int(data["n"]),
+                data["edge_u"],
+                data["edge_v"],
+                data["edge_w"],
+                nodes=nodes,
+                canonical=True,
+            )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of undirected edges (parallel edges already merged)."""
+        return len(self.edge_u)
+
+    def number_of_nodes(self) -> int:
+        return self.n
+
+    def number_of_edges(self) -> int:
+        return self.m
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        labelled = "" if self.nodes is None else ", labelled"
+        return f"CSRGraph(n={self.n}, m={self.m}{labelled})"
+
+    def node_labels(self) -> list:
+        """Labels by index (the identity list when no table is attached)."""
+        return list(range(self.n)) if self.nodes is None else list(self.nodes)
+
+    def index_of(self, label: Node) -> int:
+        """Dense index of a node label (O(1) after the first call)."""
+        if self.nodes is None:
+            i = int(label)
+            if not 0 <= i < self.n:
+                raise KeyError(label)
+            return i
+        if self._index is None:
+            self._index = {x: i for i, x in enumerate(self.nodes)}
+        return self._index[label]
+
+    def total_weight(self) -> float:
+        return float(self.edge_w.sum())
+
+    # ------------------------------------------------------------------
+    # Degree / neighbor primitives (indptr slices, no dict scans)
+    # ------------------------------------------------------------------
+    def degrees(self) -> np.ndarray:
+        """Unweighted degree per index (self-loops count twice, as in nx)."""
+        deg = np.bincount(self.edge_u, minlength=self.n)
+        deg += np.bincount(self.edge_v, minlength=self.n)
+        return deg
+
+    def weighted_degrees(self) -> np.ndarray:
+        """Sum of incident edge weights per index (self-loops twice)."""
+        deg = np.zeros(self.n, dtype=np.float64)
+        np.add.at(deg, self.edge_u, self.edge_w)
+        np.add.at(deg, self.edge_v, self.edge_w)
+        return deg
+
+    def neighbors(self, i: int) -> np.ndarray:
+        """Neighbor indices of node ``i`` -- a zero-copy indptr slice."""
+        return self.indices[self.indptr[i]:self.indptr[i + 1]]
+
+    def neighbor_weights(self, i: int) -> np.ndarray:
+        return self.adj_weight[self.indptr[i]:self.indptr[i + 1]]
+
+    def has_edge(self, i: int, j: int) -> bool:
+        row = self.neighbors(i)
+        pos = int(np.searchsorted(row, j))
+        return pos < len(row) and int(row[pos]) == j
+
+    def edge_weight(self, i: int, j: int, default: float | None = None) -> float:
+        """Weight of edge ``{i, j}`` via binary search in ``i``'s row."""
+        row = self.neighbors(i)
+        pos = int(np.searchsorted(row, j))
+        if pos < len(row) and int(row[pos]) == j:
+            return float(self.adj_weight[self.indptr[i] + pos])
+        if default is None:
+            raise KeyError((i, j))
+        return default
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def bfs_levels(self, source: int) -> np.ndarray:
+        """Hop distance from ``source`` per index (-1 = unreachable).
+
+        Frontier-at-a-time with numpy gathers: each level is one
+        concatenated indptr expansion, no per-node Python work.
+        """
+        dist = np.full(self.n, -1, dtype=np.int64)
+        dist[source] = 0
+        frontier = np.array([source], dtype=np.int64)
+        level = 0
+        indptr, indices = self.indptr, self.indices
+        while len(frontier):
+            level += 1
+            starts = indptr[frontier]
+            ends = indptr[frontier + 1]
+            total = int((ends - starts).sum())
+            if total == 0:
+                break
+            # Gather all frontier adjacency rows in one shot.
+            offsets = np.repeat(starts - np.concatenate(
+                ([0], np.cumsum(ends - starts)[:-1])
+            ), ends - starts)
+            reach = indices[np.arange(total, dtype=np.int64) + offsets]
+            fresh = reach[dist[reach] < 0]
+            if not len(fresh):
+                break
+            fresh = np.unique(fresh)
+            dist[fresh] = level
+            frontier = fresh
+        return dist
+
+    def connected_components(self) -> np.ndarray:
+        """Component id per index (ids are the minimum member index)."""
+        labels = np.full(self.n, -1, dtype=np.int64)
+        for start in range(self.n):
+            if labels[start] >= 0:
+                continue
+            reach = self.bfs_levels(start) >= 0
+            reach &= labels < 0
+            labels[reach] = start
+        return labels
+
+    def is_connected(self) -> bool:
+        if self.n == 0:
+            return False
+        return bool((self.bfs_levels(0) >= 0).all())
+
+    def diameter(self) -> int:
+        """Exact hop diameter (all-sources BFS; requires connectivity)."""
+        best = 0
+        for source in range(self.n):
+            dist = self.bfs_levels(source)
+            if (dist < 0).any():
+                raise ValueError("diameter of a disconnected graph")
+            best = max(best, int(dist.max()))
+        return best
+
+    # ------------------------------------------------------------------
+    # Structural primitives
+    # ------------------------------------------------------------------
+    def subgraph(self, keep) -> tuple["CSRGraph", np.ndarray]:
+        """Induced subgraph on the given indices.
+
+        Returns the sub-CSR (relabelled to ``0..k-1`` in the order given)
+        and the array mapping new index -> old index.
+        """
+        keep = np.asarray(keep, dtype=np.int64).reshape(-1)
+        remap = np.full(self.n, -1, dtype=np.int64)
+        remap[keep] = np.arange(len(keep), dtype=np.int64)
+        mask = (remap[self.edge_u] >= 0) & (remap[self.edge_v] >= 0)
+        labels = None
+        if self.nodes is not None:
+            labels = [self.nodes[i] for i in keep.tolist()]
+        sub = CSRGraph(
+            len(keep),
+            remap[self.edge_u[mask]],
+            remap[self.edge_v[mask]],
+            self.edge_w[mask],
+            nodes=labels,
+        )
+        return sub, keep
+
+    def contract(self, component: np.ndarray, keep_self_loops: bool = False) -> tuple["CSRGraph", np.ndarray]:
+        """Quotient graph under a node -> component assignment.
+
+        ``component`` is any integer labelling; supernodes are renumbered
+        densely (in order of minimum member index).  Parallel edges merge
+        by weight summation; self-loops of the minor are dropped unless
+        ``keep_self_loops``.  Returns the contracted CSR and the dense
+        supernode id per original index.
+        """
+        component = np.asarray(component, dtype=np.int64).reshape(-1)
+        if len(component) != self.n:
+            raise ValueError("component labelling must cover every node")
+        _uniq, dense = np.unique(component, return_inverse=True)
+        cu = dense[self.edge_u]
+        cv = dense[self.edge_v]
+        w = self.edge_w
+        if not keep_self_loops:
+            off = cu != cv
+            cu, cv, w = cu[off], cv[off], w[off]
+        quotient = CSRGraph(int(dense.max()) + 1 if self.n else 0, cu, cv, w)
+        return quotient, dense
+
+    def drop_self_loops(self) -> "CSRGraph":
+        mask = self.edge_u != self.edge_v
+        if mask.all():
+            return self
+        return CSRGraph(
+            self.n, self.edge_u[mask], self.edge_v[mask], self.edge_w[mask],
+            nodes=self.nodes, meta=self.meta, canonical=True,
+        )
+
+    def with_weights(self, weights) -> "CSRGraph":
+        """Same topology, new per-edge weights (canonical order preserved)."""
+        w = validate_weights(weights, context="with_weights")
+        if len(w) != self.m:
+            raise ValueError("weight array length differs from edge count")
+        return CSRGraph(
+            self.n, self.edge_u, self.edge_v, w,
+            nodes=self.nodes, meta=self.meta, canonical=True,
+        )
+
+
+def _canonicalize(
+    u: np.ndarray, v: np.ndarray, w: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sort rows as (min, max) pairs and merge parallel edges (weight sum)."""
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    order = np.lexsort((hi, lo))
+    lo, hi, w = lo[order], hi[order], w[order]
+    if len(lo) > 1:
+        fresh = np.empty(len(lo), dtype=bool)
+        fresh[0] = True
+        np.not_equal(lo[1:], lo[:-1], out=fresh[1:])
+        fresh[1:] |= hi[1:] != hi[:-1]
+        if not fresh.all():
+            starts = np.nonzero(fresh)[0]
+            w = np.add.reduceat(w, starts)
+            lo, hi = lo[starts], hi[starts]
+    return lo, hi, np.ascontiguousarray(w, dtype=np.float64)

@@ -6,64 +6,162 @@ discusses: general graphs (existential Õ(D + sqrt(n)) bound), planar /
 excluded-minor graphs (Õ(D) bound), expanders (small mixing time), and
 high-diameter graphs (cycles, barbells) where the trivial Ω(D) lower bound
 dominates.
+
+Every family is generated **CSR-first**: the ``csr_*`` constructor builds
+the canonical :class:`~repro.graphs.csr.CSRGraph` directly (topology from
+the seeded ``random.Random`` stream, weights from one vectorized numpy
+draw over the canonical edge order), and the networkx-returning function
+of the same name is a boundary wrapper over ``to_networkx()``.  Both views
+of a family are therefore the *same weighted graph*, edge for edge, which
+is what lets the CSR pipeline and the networkx reference path be compared
+bit-for-bit.
 """
 
 from __future__ import annotations
 
 import random
 
-import networkx as nx
+import numpy as np
+
+from repro.graphs.csr import CSRGraph, DisjointSets
+
+__all__ = [
+    "assign_random_weights",
+    "random_connected_gnm", "csr_random_connected_gnm",
+    "random_spanning_tree",
+    "cycle_graph", "csr_cycle_graph",
+    "grid_graph", "csr_grid_graph",
+    "triangulated_grid_graph", "csr_triangulated_grid_graph",
+    "delaunay_planar_graph", "csr_delaunay_planar_graph",
+    "expander_graph", "csr_expander_graph",
+    "barbell_graph", "csr_barbell_graph",
+    "tree_plus_chords", "csr_tree_plus_chords",
+    "planted_cut_graph", "csr_planted_cut_graph",
+    "CSR_FAMILY_BUILDERS",
+]
+
+
+def _weight_generator(rng: random.Random) -> np.random.Generator:
+    """A numpy generator advanced deterministically from ``rng``'s stream."""
+    return np.random.default_rng(rng.getrandbits(64))
+
+
+def _draw_weights(
+    rng: random.Random, count: int, low: int, high: int
+) -> np.ndarray:
+    """``count`` integers uniform on ``[low, high]`` -- one vectorized draw."""
+    return _weight_generator(rng).integers(
+        low, high, size=count, endpoint=True, dtype=np.int64
+    )
 
 
 def assign_random_weights(
-    graph: nx.Graph,
+    graph,
     rng: random.Random,
     low: int = 1,
     high: int | None = None,
-) -> nx.Graph:
+):
     """Assign integer weights uniformly from ``[low, high]`` in place.
 
     ``high`` defaults to ``n**2`` which keeps weights in ``poly(n)`` as the
-    paper requires.
+    paper requires.  The draw is a single vectorized numpy call seeded from
+    the caller's ``rng`` (no per-edge Python randomness); assignment
+    follows the graph's ``edges()`` order.
     """
     if high is None:
         high = max(low, len(graph) ** 2)
-    for u, v in graph.edges():
-        graph[u][v]["weight"] = rng.randint(low, high)
+    draws = _draw_weights(rng, graph.number_of_edges(), low, high)
+    for (u, v), weight in zip(graph.edges(), draws.tolist()):
+        graph[u][v]["weight"] = weight
     return graph
 
 
-def _relabel_consecutive(graph: nx.Graph) -> nx.Graph:
-    return nx.convert_node_labels_to_integers(graph, ordering="sorted")
+def _weighted_csr(
+    n: int,
+    edges,
+    rng: random.Random,
+    weight_high: int | None,
+    low: int = 1,
+) -> CSRGraph:
+    """Canonical CSR over ``edges`` with one vectorized weight draw.
+
+    Weights are drawn *after* canonicalization so the draw order is the
+    canonical edge order -- the one invariant both the CSR pipeline and the
+    ``to_networkx`` reference view share.
+    """
+    if edges and not isinstance(edges[0], tuple):
+        u, v = np.asarray(edges[0]), np.asarray(edges[1])
+    else:
+        pairs = np.array(edges, dtype=np.int64).reshape(-1, 2)
+        u, v = pairs[:, 0], pairs[:, 1]
+    graph = CSRGraph(n, u, v)
+    high = weight_high if weight_high is not None else max(low, n ** 2)
+    weights = _draw_weights(rng, graph.m, low, high)
+    return graph.with_weights(weights.astype(np.float64))
 
 
-def random_connected_gnm(
+# ----------------------------------------------------------------------
+# General random graphs
+# ----------------------------------------------------------------------
+def csr_random_connected_gnm(
     n: int,
     m: int,
     seed: int = 0,
     weight_high: int | None = None,
-) -> nx.Graph:
+) -> CSRGraph:
     """Connected G(n, m): a random spanning tree plus random extra edges."""
     if n < 2:
         raise ValueError("need at least 2 nodes")
     max_edges = n * (n - 1) // 2
     m = min(max(m, n - 1), max_edges)
     rng = random.Random(seed)
-    graph = nx.Graph()
-    graph.add_nodes_from(range(n))
     nodes = list(range(n))
     rng.shuffle(nodes)
+    edge_set: set[tuple[int, int]] = set()
+    edges: list[tuple[int, int]] = []
+
+    def add(u: int, v: int) -> None:
+        key = (u, v) if u <= v else (v, u)
+        if key not in edge_set:
+            edge_set.add(key)
+            edges.append(key)
+
     for i in range(1, n):
-        graph.add_edge(nodes[i], nodes[rng.randrange(i)])
-    while graph.number_of_edges() < m:
+        add(nodes[i], nodes[rng.randrange(i)])
+    while len(edge_set) < m:
         u, v = rng.sample(range(n), 2)
-        graph.add_edge(u, v)
-    return assign_random_weights(graph, rng, high=weight_high)
+        add(u, v)
+    return _weighted_csr(n, edges, rng, weight_high)
 
 
-def random_spanning_tree(graph: nx.Graph, seed: int = 0) -> nx.Graph:
-    """A uniform-ish random spanning tree (random-weight Kruskal)."""
+def random_connected_gnm(
+    n: int, m: int, seed: int = 0, weight_high: int | None = None
+):
+    return csr_random_connected_gnm(n, m, seed, weight_high).to_networkx()
+
+
+def random_spanning_tree(graph, seed: int = 0):
+    """A uniform-ish random spanning tree (random-weight Kruskal).
+
+    Accepts a networkx graph or a :class:`CSRGraph`; returns the same type.
+    """
     rng = random.Random(seed)
+    if isinstance(graph, CSRGraph):
+        order = list(range(graph.m))
+        rng.shuffle(order)
+        components = DisjointSets(graph.n)
+        chosen = []
+        eu, ev = graph.edge_u, graph.edge_v
+        for eid in order:
+            if components.union(int(eu[eid]), int(ev[eid])):
+                chosen.append(eid)
+        ids = np.array(sorted(chosen), dtype=np.int64)
+        return CSRGraph(
+            graph.n, eu[ids], ev[ids], graph.edge_w[ids],
+            nodes=graph.nodes, canonical=True,
+        )
+    import networkx as nx
+
     order = sorted(graph.edges())
     rng.shuffle(order)
     tree = nx.Graph()
@@ -76,90 +174,287 @@ def random_spanning_tree(graph: nx.Graph, seed: int = 0) -> nx.Graph:
     return tree
 
 
-def cycle_graph(n: int, seed: int = 0, weight_high: int | None = None) -> nx.Graph:
+# ----------------------------------------------------------------------
+# High-diameter families
+# ----------------------------------------------------------------------
+def csr_cycle_graph(
+    n: int, seed: int = 0, weight_high: int | None = None
+) -> CSRGraph:
     """Weighted n-cycle: diameter Θ(n), the paper's Ω(n) worst-case example."""
     rng = random.Random(seed)
-    graph = nx.cycle_graph(n)
-    return assign_random_weights(graph, rng, high=weight_high)
+    idx = np.arange(n, dtype=np.int64)
+    u = idx
+    v = (idx + 1) % n
+    if n <= 2:
+        u, v = u[: n - 1], v[: n - 1]
+    return _weighted_csr(n, (u, v), rng, weight_high)
 
 
-def grid_graph(rows: int, cols: int, seed: int = 0, weight_high: int | None = None) -> nx.Graph:
-    """Planar grid: the canonical excluded-minor family."""
+def cycle_graph(n: int, seed: int = 0, weight_high: int | None = None):
+    return csr_cycle_graph(n, seed, weight_high).to_networkx()
+
+
+def csr_barbell_graph(
+    clique: int, path: int, seed: int = 0, weight_high: int | None = None
+) -> CSRGraph:
+    """Two cliques joined by a long path: diameter Θ(path), min cut on the path."""
     rng = random.Random(seed)
-    graph = _relabel_consecutive(nx.grid_2d_graph(rows, cols))
-    return assign_random_weights(graph, rng, high=weight_high)
+    n = 2 * clique + path
+    left = np.triu_indices(clique, k=1)
+    right_offset = clique + path
+    u = np.concatenate([left[0], left[0] + right_offset])
+    v = np.concatenate([left[1], left[1] + right_offset])
+    # The connecting path (nx.barbell_graph layout): clique-1 -- clique --
+    # ... -- clique+path-1 -- clique+path.
+    chain = np.arange(clique - 1, clique + path, dtype=np.int64)
+    u = np.concatenate([u, chain])
+    v = np.concatenate([v, chain + 1])
+    return _weighted_csr(n, (u, v), rng, weight_high)
+
+
+def barbell_graph(
+    clique: int, path: int, seed: int = 0, weight_high: int | None = None
+):
+    return csr_barbell_graph(clique, path, seed, weight_high).to_networkx()
+
+
+# ----------------------------------------------------------------------
+# Planar / excluded-minor families
+# ----------------------------------------------------------------------
+def _grid_edges(rows: int, cols: int) -> tuple[np.ndarray, np.ndarray]:
+    idx = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    right = (idx[:, :-1].ravel(), idx[:, 1:].ravel())
+    down = (idx[:-1, :].ravel(), idx[1:, :].ravel())
+    return (
+        np.concatenate([right[0], down[0]]),
+        np.concatenate([right[1], down[1]]),
+    )
+
+
+def csr_grid_graph(
+    rows: int, cols: int, seed: int = 0, weight_high: int | None = None
+) -> CSRGraph:
+    """Planar grid: the canonical excluded-minor family (row-major labels)."""
+    rng = random.Random(seed)
+    u, v = _grid_edges(rows, cols)
+    return _weighted_csr(rows * cols, (u, v), rng, weight_high)
+
+
+def grid_graph(
+    rows: int, cols: int, seed: int = 0, weight_high: int | None = None
+):
+    return csr_grid_graph(rows, cols, seed, weight_high).to_networkx()
+
+
+def csr_triangulated_grid_graph(
+    rows: int, cols: int, seed: int = 0, weight_high: int | None = None
+) -> CSRGraph:
+    """Grid with one diagonal per cell: planar with higher connectivity."""
+    rng = random.Random(seed)
+    u, v = _grid_edges(rows, cols)
+    idx = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    diag_u = idx[:-1, :-1].ravel()
+    diag_v = idx[1:, 1:].ravel()
+    return _weighted_csr(
+        rows * cols,
+        (np.concatenate([u, diag_u]), np.concatenate([v, diag_v])),
+        rng,
+        weight_high,
+    )
 
 
 def triangulated_grid_graph(
     rows: int, cols: int, seed: int = 0, weight_high: int | None = None
-) -> nx.Graph:
-    """Grid with one diagonal per cell: planar with higher connectivity."""
-    rng = random.Random(seed)
-    base = nx.grid_2d_graph(rows, cols)
-    for r in range(rows - 1):
-        for c in range(cols - 1):
-            base.add_edge((r, c), (r + 1, c + 1))
-    graph = _relabel_consecutive(base)
-    return assign_random_weights(graph, rng, high=weight_high)
+):
+    return csr_triangulated_grid_graph(rows, cols, seed, weight_high).to_networkx()
 
 
-def delaunay_planar_graph(n: int, seed: int = 0, weight_high: int | None = None) -> nx.Graph:
+def csr_delaunay_planar_graph(
+    n: int, seed: int = 0, weight_high: int | None = None
+) -> CSRGraph:
     """Random planar graph from a Delaunay triangulation of random points.
 
     Falls back to a triangulated grid when scipy is unavailable.
     """
     rng = random.Random(seed)
     try:
-        import numpy as np
         from scipy.spatial import Delaunay
     except ImportError:  # pragma: no cover - scipy is installed in CI
         side = max(2, int(n ** 0.5))
-        return triangulated_grid_graph(side, side, seed=seed, weight_high=weight_high)
+        return csr_triangulated_grid_graph(
+            side, side, seed=seed, weight_high=weight_high
+        )
     points = np.array([[rng.random(), rng.random()] for _ in range(n)])
     tri = Delaunay(points)
-    graph = nx.Graph()
-    graph.add_nodes_from(range(n))
-    for simplex in tri.simplices:
-        a, b, c = (int(x) for x in simplex)
-        graph.add_edge(a, b)
-        graph.add_edge(b, c)
-        graph.add_edge(a, c)
-    return assign_random_weights(graph, rng, high=weight_high)
+    simplices = tri.simplices.astype(np.int64)
+    u = np.concatenate([simplices[:, 0], simplices[:, 1], simplices[:, 0]])
+    v = np.concatenate([simplices[:, 1], simplices[:, 2], simplices[:, 2]])
+    return _weighted_csr(n, (u, v), rng, weight_high)
 
 
-def expander_graph(n: int, degree: int = 4, seed: int = 0, weight_high: int | None = None) -> nx.Graph:
-    """Random d-regular graph: small mixing time, Theorem 1's third bullet."""
-    rng = random.Random(seed)
+def delaunay_planar_graph(
+    n: int, seed: int = 0, weight_high: int | None = None
+):
+    return csr_delaunay_planar_graph(n, seed, weight_high).to_networkx()
+
+
+# ----------------------------------------------------------------------
+# Expanders
+# ----------------------------------------------------------------------
+def csr_expander_graph(
+    n: int, degree: int = 4, seed: int = 0, weight_high: int | None = None
+) -> CSRGraph:
+    """Random d-regular graph: small mixing time, Theorem 1's third bullet.
+
+    Configuration (pairing) model with collision repair: shuffle the
+    ``n * degree`` stubs, pair them consecutively, then fix self-loops and
+    parallel edges by switching endpoints with random good pairs.  A
+    repaired pairing is re-checked for simplicity and connectivity.
+    """
     if (n * degree) % 2:
         n += 1
-    for attempt in range(50):
-        graph = nx.random_regular_graph(degree, n, seed=seed + attempt)
-        if nx.is_connected(graph):
-            return assign_random_weights(graph, rng, high=weight_high)
+    rng = random.Random(seed)
+    stubs = [i for i in range(n) for _ in range(degree)]
+    for _attempt in range(200):
+        rng.shuffle(stubs)
+        pairs = [
+            [stubs[2 * k], stubs[2 * k + 1]] for k in range(len(stubs) // 2)
+        ]
+        if _repair_pairing(pairs, rng):
+            graph = _weighted_csr(
+                n, [tuple(sorted(p)) for p in pairs], rng, weight_high
+            )
+            if graph.is_connected() and graph.m == n * degree // 2:
+                return graph
     raise RuntimeError("failed to sample a connected regular graph")
 
 
-def barbell_graph(clique: int, path: int, seed: int = 0, weight_high: int | None = None) -> nx.Graph:
-    """Two cliques joined by a long path: diameter Θ(path), min cut on the path."""
-    rng = random.Random(seed)
-    graph = _relabel_consecutive(nx.barbell_graph(clique, path))
-    return assign_random_weights(graph, rng, high=weight_high)
+def _repair_pairing(pairs: list[list[int]], rng: random.Random) -> bool:
+    """Switch endpoints until the pairing is simple (bounded attempts)."""
+    for _round in range(60):
+        seen: set[tuple[int, int]] = set()
+        bad: list[int] = []
+        for index, (a, b) in enumerate(pairs):
+            key = (a, b) if a <= b else (b, a)
+            if a == b or key in seen:
+                bad.append(index)
+            else:
+                seen.add(key)
+        if not bad:
+            return True
+        for index in bad:
+            other = rng.randrange(len(pairs))
+            side = rng.randrange(2)
+            pairs[index][1], pairs[other][side] = (
+                pairs[other][side], pairs[index][1],
+            )
+    return False
 
 
-def tree_plus_chords(n: int, chords: int, seed: int = 0, weight_high: int | None = None) -> nx.Graph:
+def expander_graph(
+    n: int, degree: int = 4, seed: int = 0, weight_high: int | None = None
+):
+    return csr_expander_graph(n, degree, seed, weight_high).to_networkx()
+
+
+# ----------------------------------------------------------------------
+# Sparse tree-like instances
+# ----------------------------------------------------------------------
+def csr_tree_plus_chords(
+    n: int, chords: int, seed: int = 0, weight_high: int | None = None
+) -> CSRGraph:
     """Random tree with a few extra chord edges: sparse, tree-like instances."""
     rng = random.Random(seed)
-    graph = nx.Graph()
-    graph.add_nodes_from(range(n))
+    edge_set: set[tuple[int, int]] = set()
+    edges: list[tuple[int, int]] = []
     for v in range(1, n):
-        graph.add_edge(v, rng.randrange(v))
+        u = rng.randrange(v)
+        edges.append((u, v))
+        edge_set.add((u, v))
     added = 0
     while added < chords:
         u, v = rng.sample(range(n), 2)
-        if not graph.has_edge(u, v):
-            graph.add_edge(u, v)
+        key = (u, v) if u <= v else (v, u)
+        if key not in edge_set:
+            edge_set.add(key)
+            edges.append(key)
             added += 1
-    return assign_random_weights(graph, rng, high=weight_high)
+    return _weighted_csr(n, edges, rng, weight_high)
+
+
+def tree_plus_chords(
+    n: int, chords: int, seed: int = 0, weight_high: int | None = None
+):
+    return csr_tree_plus_chords(n, chords, seed, weight_high).to_networkx()
+
+
+# ----------------------------------------------------------------------
+# Planted cuts
+# ----------------------------------------------------------------------
+def csr_planted_cut_graph(
+    n_left: int,
+    n_right: int,
+    cross_edges: int = 3,
+    cross_weight: int = 1,
+    inside_weight: int = 100,
+    seed: int = 0,
+) -> CSRGraph:
+    """Two dense clusters joined by a few light edges.
+
+    The minimum cut is the planted one with value
+    ``cross_edges * cross_weight`` (the generator asserts every node keeps an
+    inside-degree heavy enough that no single-node cut undercuts it), which
+    gives tests a graph whose exact min-cut is known by construction.
+    The planted value and partition are recorded in ``meta``.
+    """
+    rng = random.Random(seed)
+    n = n_left + n_right
+    left = list(range(n_left))
+    right = list(range(n_left, n))
+    weights: dict[tuple[int, int], float] = {}
+
+    def key(u: int, v: int) -> tuple[int, int]:
+        return (u, v) if u <= v else (v, u)
+
+    def _dense_cluster(nodes: list[int]) -> None:
+        for i in range(1, len(nodes)):
+            weights[key(nodes[i], nodes[rng.randrange(i)])] = inside_weight
+        for _ in range(len(nodes)):
+            u, v = rng.sample(nodes, 2)
+            if key(u, v) not in weights:
+                weights[key(u, v)] = inside_weight
+
+    _dense_cluster(left)
+    _dense_cluster(right)
+    for _ in range(cross_edges):
+        u, v = rng.choice(left), rng.choice(right)
+        weights[key(u, v)] = weights.get(key(u, v), 0) + cross_weight
+    planted_value = sum(
+        w for (u, v), w in weights.items() if (u < n_left) != (v < n_left)
+    )
+    # Guard: every single-node cut must exceed the planted cut.
+    for node in range(n):
+        degree_weight = sum(
+            w for (u, v), w in weights.items() if node in (u, v)
+        )
+        if degree_weight <= planted_value:
+            side = left if node in left else right
+            others = [x for x in side if x != node]
+            while degree_weight <= planted_value and others:
+                peer = rng.choice(others)
+                weights[key(node, peer)] = (
+                    weights.get(key(node, peer), 0) + inside_weight
+                )
+                degree_weight += inside_weight
+    pairs = np.array(list(weights.keys()), dtype=np.int64).reshape(-1, 2)
+    values = np.fromiter(weights.values(), dtype=np.float64, count=len(weights))
+    return CSRGraph(
+        n, pairs[:, 0], pairs[:, 1], values,
+        meta={
+            "planted_cut_value": planted_value,
+            "planted_partition": (frozenset(left), frozenset(right)),
+        },
+    )
 
 
 def planted_cut_graph(
@@ -169,51 +464,28 @@ def planted_cut_graph(
     cross_weight: int = 1,
     inside_weight: int = 100,
     seed: int = 0,
-) -> nx.Graph:
-    """Two dense clusters joined by a few light edges.
+):
+    return csr_planted_cut_graph(
+        n_left, n_right, cross_edges, cross_weight, inside_weight, seed
+    ).to_networkx()
 
-    The minimum cut is the planted one with value
-    ``cross_edges * cross_weight`` (the generator asserts every node keeps an
-    inside-degree heavy enough that no single-node cut undercuts it), which
-    gives tests a graph whose exact min-cut is known by construction.
-    """
-    rng = random.Random(seed)
-    graph = nx.Graph()
-    left = list(range(n_left))
-    right = list(range(n_left, n_left + n_right))
-    graph.add_nodes_from(left + right)
 
-    def _dense_cluster(nodes: list[int]) -> None:
-        for i in range(1, len(nodes)):
-            graph.add_edge(nodes[i], nodes[rng.randrange(i)], weight=inside_weight)
-        extra = len(nodes)
-        for _ in range(extra):
-            u, v = rng.sample(nodes, 2)
-            if not graph.has_edge(u, v):
-                graph.add_edge(u, v, weight=inside_weight)
-
-    _dense_cluster(left)
-    _dense_cluster(right)
-    for _ in range(cross_edges):
-        graph.add_edge(rng.choice(left), rng.choice(right), weight=cross_weight)
-    planted_value = sum(
-        d["weight"] for u, v, d in graph.edges(data=True)
-        if (u < n_left) != (v < n_left)
-    )
-    # Guard: every single-node cut must exceed the planted cut.
-    for node in graph.nodes():
-        degree_weight = sum(d["weight"] for _, _, d in graph.edges(node, data=True))
-        if degree_weight <= planted_value:
-            # Thicken this node's inside connectivity.
-            side = left if node in left else right
-            others = [x for x in side if x != node]
-            while degree_weight <= planted_value and others:
-                peer = rng.choice(others)
-                if graph.has_edge(node, peer):
-                    graph[node][peer]["weight"] += inside_weight
-                else:
-                    graph.add_edge(node, peer, weight=inside_weight)
-                degree_weight += inside_weight
-    graph.graph["planted_cut_value"] = planted_value
-    graph.graph["planted_partition"] = (frozenset(left), frozenset(right))
-    return graph
+#: CSR-direct builders, keyed like the CLI families (n, seed) -> CSRGraph.
+CSR_FAMILY_BUILDERS = {
+    "gnm": lambda n, seed: csr_random_connected_gnm(n, int(2.5 * n), seed=seed),
+    "grid": lambda n, seed: csr_grid_graph(
+        max(2, int(n ** 0.5)), max(2, round(n / max(2, int(n ** 0.5)))), seed=seed
+    ),
+    "delaunay": lambda n, seed: csr_delaunay_planar_graph(n, seed=seed),
+    "cycle": lambda n, seed: csr_cycle_graph(n, seed=seed),
+    "expander": lambda n, seed: csr_expander_graph(n, seed=seed),
+    "barbell": lambda n, seed: csr_barbell_graph(
+        max(3, n // 4), max(2, n // 2), seed=seed
+    ),
+    "tree-chords": lambda n, seed: csr_tree_plus_chords(
+        n, max(2, n // 5), seed=seed
+    ),
+    "planted": lambda n, seed: csr_planted_cut_graph(
+        n // 2, n - n // 2, seed=seed
+    ),
+}

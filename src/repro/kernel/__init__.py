@@ -1,10 +1,13 @@
 """Array-backed tree kernel (flat indices, Euler tours, vectorized covers).
 
 ``TreeKernel`` is the per-tree index structure; ``cut_kernel`` holds the
-vectorized cover/cut computations built on it; ``config`` is the switch
-between the kernel paths and the pure-Python reference implementations.
+vectorized cover/cut computations built on it; ``batched`` stacks many
+tree kernels and solves their 2-respecting oracles in one numpy pass;
+``config`` is the switch between the kernel paths and the pure-Python
+reference implementations.
 """
 
+from repro.kernel.batched import batched_two_respecting_oracle
 from repro.kernel.config import (
     kernel_enabled,
     set_kernel_enabled,
@@ -22,6 +25,7 @@ from repro.kernel.tree_kernel import TreeKernel
 
 __all__ = [
     "GraphArrays",
+    "batched_two_respecting_oracle",
     "TreeKernel",
     "cover_values_kernel",
     "cut_partition_kernel",

@@ -1,0 +1,160 @@
+"""Batched 2-respecting solves over stacked tree kernels.
+
+The Θ(log n) packed trees in ``minimum_cut`` are independent, and with the
+array kernel each per-tree oracle is pure numpy (one O(n² + m) Euler
+prefix-sum pass).  This module stacks the per-tree kernel arrays
+(``tin``/``tout``/endpoint remaps) into ``(trees, ...)`` tensors and runs
+*all* trees through one vectorized pass: one scatter-add into a 3D prefix
+tensor, cumulative sums along both Euler axes, one gather cascade for the
+pair matrices, and one row-major argmin per tree.
+
+Bit-for-bit parity with the per-tree
+:func:`~repro.kernel.cut_kernel.pair_cover_matrix_kernel` path is a design
+requirement (the equivalence suite asserts it): every float operation runs
+in the same order per tree slice as the 2D implementation -- integer-weight
+inputs therefore produce identical candidates, values, and tie-breaks.
+
+Memory is bounded by chunking the tree axis: a chunk of ``c`` trees needs
+roughly ``34 * c * n²`` bytes of scratch; the chunk size is derived from
+``REPRO_BATCH_BYTES`` (default 256 MiB) so large instances degrade to the
+per-tree behaviour instead of blowing up.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.kernel.cut_kernel import GraphArrays
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.core.cut_values import CutCandidate
+    from repro.trees.rooted import RootedTree
+
+_DEFAULT_BUDGET = 256 * 1024 * 1024
+#: bytes of scratch per tree per n² (prefix tensor + rows + matrix + cuts
+#: + boolean masks + gather temporaries)
+_BYTES_PER_CELL = 34
+
+
+def _chunk_size(n: int) -> int:
+    try:
+        budget = int(os.environ.get("REPRO_BATCH_BYTES", _DEFAULT_BUDGET))
+    except ValueError:
+        budget = _DEFAULT_BUDGET
+    per_tree = max(1, _BYTES_PER_CELL * (n + 1) * (n + 1))
+    return max(1, budget // per_tree)
+
+
+def batched_two_respecting_oracle(
+    arrays: GraphArrays,
+    trees: "Sequence[RootedTree]",
+) -> "list[CutCandidate]":
+    """Best 1-/2-respecting cut per tree, all trees solved in one pass.
+
+    Returns one :class:`CutCandidate` per tree, equal (value, edges, and
+    tie-break) to ``two_respecting_oracle(graph, tree, arrays=arrays)``.
+    """
+    from repro.core.cut_values import CutCandidate
+
+    if not trees:
+        return []
+    n = trees[0].kernel.n
+    if n <= 1:
+        raise ValueError("tree has no edges")
+
+    u_pos, v_pos, weights = arrays.u_pos, arrays.v_pos, arrays.weights
+    nonzero = weights != 0
+    if not nonzero.all():
+        u_pos, v_pos = u_pos[nonzero], v_pos[nonzero]
+        weights = weights[nonzero]
+
+    candidates: "list[CutCandidate]" = []
+    chunk = _chunk_size(n)
+    for lo_t in range(0, len(trees), chunk):
+        batch = trees[lo_t:lo_t + chunk]
+        candidates.extend(
+            _solve_chunk(batch, arrays, u_pos, v_pos, weights, CutCandidate)
+        )
+    return candidates
+
+
+def _solve_chunk(
+    trees: "Sequence[RootedTree]",
+    arrays: GraphArrays,
+    u_pos: np.ndarray,
+    v_pos: np.ndarray,
+    weights: np.ndarray,
+    CutCandidate,
+) -> "list[CutCandidate]":
+    kernels = [tree.kernel for tree in trees]
+    c = len(kernels)
+    n = kernels[0].n
+
+    # (c, n) stacked kernel arrays; the remap row of tree t sends the
+    # graph's node positions onto t's dense indices.
+    remap = np.stack([arrays.tree_remap(k) for k in kernels])
+    tin = np.stack([k.tin for k in kernels])
+    tout = np.stack([k.tout for k in kernels])
+
+    # (c, m) per-tree Euler times of every edge endpoint.
+    ut = np.take_along_axis(tin, remap[:, u_pos], axis=1)
+    vt = np.take_along_axis(tin, remap[:, v_pos], axis=1)
+
+    # 3D deposit + prefix integration: P[t, a, b] = weight over the
+    # preorder box [0, a) x [0, b) of tree t.  np.add.at walks the
+    # broadcast element-wise in C order, i.e. edge order within each tree
+    # slice -- the same accumulation order as the 2D kernel.
+    tree_axis = np.arange(c, dtype=np.int64)[:, None]
+    prefix = np.zeros((c, n + 1, n + 1), dtype=np.float64)
+    np.add.at(prefix, (tree_axis, ut + 1, vt + 1), weights)
+    np.add.at(prefix, (tree_axis, vt + 1, ut + 1), weights)
+    prefix.cumsum(axis=1, out=prefix)
+    prefix.cumsum(axis=2, out=prefix)
+
+    # Tree edge i of tree t <-> bottom node index i + 1 (BFS order).
+    lo = tin[:, 1:]
+    hi = tout[:, 1:]
+    rows = (
+        np.take_along_axis(prefix, hi[:, :, None], axis=1)
+        - np.take_along_axis(prefix, lo[:, :, None], axis=1)
+    )
+    totals = rows[:, :, n].copy()
+    matrix = np.take_along_axis(rows, hi[:, None, :], axis=2)
+    matrix -= np.take_along_axis(rows, lo[:, None, :], axis=2)
+
+    # Ancestor-related pairs: Cov = T(descendant) - S, exactly as in the
+    # 2D kernel (the diagonal degenerates to Cov(e_i) via either mask).
+    ancestor = (lo[:, :, None] <= lo[:, None, :]) & (
+        hi[:, None, :] <= hi[:, :, None]
+    )
+    descendant = ancestor.transpose(0, 2, 1).copy()
+    diag = np.arange(n - 1)
+    descendant[:, diag, diag] = False
+    np.subtract(totals[:, None, :], matrix, out=matrix, where=ancestor)
+    np.subtract(totals[:, :, None], matrix, out=matrix, where=descendant)
+
+    # Cut(e_i, e_j) = Cov(e_i) + Cov(e_j) - 2 Cov(e_i, e_j); diagonal =
+    # the 1-respecting values.
+    covers = matrix[:, diag, diag].copy()
+    cuts = covers[:, :, None] + covers[:, None, :] - 2 * matrix
+    cuts[:, diag, diag] = covers
+
+    flat = cuts.reshape(c, -1).argmin(axis=1)
+    results = []
+    for t, tree in enumerate(trees):
+        edges = list(tree.edges())
+        i, j = divmod(int(flat[t]), n - 1)
+        if i == j:
+            results.append(
+                CutCandidate(value=float(cuts[t, i, j]), edges=(edges[i],))
+            )
+        else:
+            results.append(
+                CutCandidate(
+                    value=float(cuts[t, i, j]), edges=(edges[i], edges[j])
+                )
+            )
+    return results

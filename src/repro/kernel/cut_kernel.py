@@ -32,12 +32,12 @@ integer weights the results are bit-identical to the legacy reference.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Hashable
 
 import networkx as nx
 import numpy as np
 
+from repro.graphs.csr import CSRGraph, validate_weights
 from repro.kernel.tree_kernel import TreeKernel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -46,60 +46,114 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 Node = Hashable
 
 
-@dataclass
 class GraphArrays:
     """Edge list of a graph extracted once into flat arrays.
 
     Extraction (a Python loop over ``graph.edges``) is the single most
     expensive non-numpy step, so callers that evaluate many spanning trees
     of the *same* graph (tree packing, the min-cut pipeline) build this
-    once and re-map the node positions per tree in O(n).
+    once and re-map the node positions per tree in O(n).  For a
+    :class:`~repro.graphs.csr.CSRGraph` the extraction is
+    :meth:`from_csr` -- pure array slicing, no Python loop at all.
 
     Self-loops are dropped (they never cross a cut); zero-weight edges
     stay in the arrays so cut witnesses can still report them as crossing
     (cover computations filter them out via ``weights != 0`` where the
     legacy reference skips them).
+
+    Weights pass through one dtype-checked conversion that rejects
+    NaN/negative values up front -- bad inputs used to surface much later
+    as a cryptic witness-consistency failure inside ``mincut``.
     """
 
-    nodes: list[Node]
-    u_pos: np.ndarray
-    v_pos: np.ndarray
-    weights: np.ndarray
-    pairs: list[tuple[Node, Node]]
+    __slots__ = ("nodes", "u_pos", "v_pos", "weights", "identity_nodes")
+
+    def __init__(
+        self,
+        nodes: list[Node],
+        u_pos: np.ndarray,
+        v_pos: np.ndarray,
+        weights: np.ndarray,
+        identity_nodes: bool | None = None,
+    ):
+        self.nodes = nodes
+        self.u_pos = u_pos
+        self.v_pos = v_pos
+        self.weights = weights
+        if identity_nodes is None:
+            identity_nodes = all(
+                isinstance(x, int) and x == i for i, x in enumerate(nodes)
+            )
+        self.identity_nodes = identity_nodes
 
     @classmethod
-    def from_graph(cls, graph: nx.Graph) -> "GraphArrays":
+    def from_graph(cls, graph: "nx.Graph | CSRGraph") -> "GraphArrays":
+        if isinstance(graph, CSRGraph):
+            return cls.from_csr(graph)
         nodes = list(graph.nodes())
         position = {node: i for i, node in enumerate(nodes)}
         us: list[int] = []
         vs: list[int] = []
         ws: list[float] = []
-        pairs: list[tuple[Node, Node]] = []
         for u, v, data in graph.edges(data=True):
             if u == v:
                 continue
             us.append(position[u])
             vs.append(position[v])
             ws.append(data.get("weight", 1))
-            pairs.append((u, v))
         return cls(
             nodes=nodes,
             u_pos=np.array(us, dtype=np.int64),
             v_pos=np.array(vs, dtype=np.int64),
-            weights=np.array(ws, dtype=np.float64),
-            pairs=pairs,
+            weights=validate_weights(ws, context="GraphArrays"),
         )
+
+    @classmethod
+    def from_csr(cls, graph: CSRGraph) -> "GraphArrays":
+        """Zero-loop extraction: the CSR edge table *is* the array form.
+
+        The arrays work in dense-index space (``nodes`` is the identity)
+        regardless of any label table on the graph; callers that need
+        labelled witnesses map back at the boundary.
+        """
+        u, v, w = graph.edge_u, graph.edge_v, graph.edge_w
+        loops = u == v
+        if loops.any():
+            keep = ~loops
+            u, v, w = u[keep], v[keep], w[keep]
+        return cls(
+            nodes=list(range(graph.n)),
+            u_pos=u,
+            v_pos=v,
+            weights=w,
+            identity_nodes=True,
+        )
+
+    @property
+    def pairs(self) -> list[tuple[Node, Node]]:
+        """Edge endpoint labels, materialised on demand (witness reporting)."""
+        nodes = self.nodes
+        return [
+            (nodes[a], nodes[b])
+            for a, b in zip(self.u_pos.tolist(), self.v_pos.tolist())
+        ]
 
     def tree_endpoints(
         self, kernel: TreeKernel
     ) -> tuple[np.ndarray, np.ndarray]:
         """Edge endpoints re-mapped onto a tree kernel's dense indices."""
-        remap = kernel.indices_of(self.nodes)
+        remap = self.tree_remap(kernel)
         return remap[self.u_pos], remap[self.v_pos]
+
+    def tree_remap(self, kernel: TreeKernel) -> np.ndarray:
+        """Node position -> kernel index; inverse-permutation fast path."""
+        if self.identity_nodes:
+            return kernel.inverse_order(len(self.nodes))
+        return kernel.indices_of(self.nodes)
 
 
 def _arrays_for(
-    graph: nx.Graph, arrays: GraphArrays | None
+    graph: "nx.Graph | CSRGraph", arrays: GraphArrays | None
 ) -> GraphArrays:
     return arrays if arrays is not None else GraphArrays.from_graph(graph)
 
@@ -229,13 +283,20 @@ def partition_cut_weight_arrays(
     """
     from repro.trees.rooted import edge_key
 
-    members = np.fromiter(
-        (node in side for node in arrays.nodes),
-        dtype=bool,
-        count=len(arrays.nodes),
-    )
+    if arrays.identity_nodes:
+        members = np.zeros(len(arrays.nodes), dtype=bool)
+        members[np.fromiter(side, dtype=np.int64, count=len(side))] = True
+    else:
+        members = np.fromiter(
+            (node in side for node in arrays.nodes),
+            dtype=bool,
+            count=len(arrays.nodes),
+        )
     crossing_mask = members[arrays.u_pos] != members[arrays.v_pos]
     total = float(arrays.weights[crossing_mask].sum())
-    pairs = arrays.pairs
-    crossing = [edge_key(*pairs[i]) for i in np.nonzero(crossing_mask)[0]]
+    nodes = arrays.nodes
+    crossing = [
+        edge_key(nodes[arrays.u_pos[i]], nodes[arrays.v_pos[i]])
+        for i in np.nonzero(crossing_mask)[0]
+    ]
     return total, crossing

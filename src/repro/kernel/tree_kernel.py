@@ -103,6 +103,7 @@ class TreeKernel:
         max_depth = int(self.depth.max()) if n else 0
         self.log = max(1, max_depth.bit_length())
         self._up: np.ndarray | None = None
+        self._inverse: np.ndarray | None = None
 
     @property
     def up(self) -> np.ndarray:
@@ -171,6 +172,20 @@ class TreeKernel:
         return np.fromiter(
             (index[node] for node in nodes), dtype=np.int64, count=len(nodes)
         )
+
+    def inverse_order(self, n: int) -> np.ndarray:
+        """Label -> kernel index, for dense integer labels ``0..n-1``.
+
+        The inverse permutation of ``nodes`` as one numpy scatter -- the
+        zero-loop remap the CSR pipeline uses in place of per-node dict
+        lookups (only valid when the node labels are their own indices).
+        """
+        if self._inverse is None:
+            order = np.asarray(self.nodes, dtype=np.int64)
+            inverse = np.empty(n, dtype=np.int64)
+            inverse[order] = np.arange(self.n, dtype=np.int64)
+            self._inverse = inverse
+        return self._inverse
 
     def lca_indices(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
         """LCA indices for aligned arrays of node indices, all at once.

@@ -27,14 +27,16 @@ def boruvka_mst(
 ) -> set[Edge]:
     """Compute an MST; returns the set of chosen (canonical) edges.
 
-    ``edge_cost`` maps an edge to its cost (defaults to the graph's
-    ``weight`` attribute).  Ties are broken by the edge's stable string key,
+    ``edge_cost`` maps an edge to its cost (defaults to the topology's
+    ``weight``).  Ties are broken by the edge's stable string key,
     making every phase deterministic -- with distinct effective costs
     Boruvka's chosen-edge sets are acyclic, the classic correctness argument.
+
+    Works on networkx- and CSR-backed engines alike (node/edge access goes
+    through the engine's frozen enumerations).
     """
-    graph = engine.graph
     if edge_cost is None:
-        cost = lambda e: graph[e[0]][e[1]].get("weight", 1)
+        cost = engine.edge_weight
     elif callable(edge_cost):
         cost = edge_cost
     else:
@@ -44,7 +46,7 @@ def boruvka_mst(
         return (cost(edge), str(edge))
 
     in_mst: set[Edge] = set()
-    phases = log2ceil(graph.number_of_nodes()) + 1
+    phases = log2ceil(engine.n) + 1
     for _phase in range(phases):
         # One engine round: publish nothing, every minor-edge offers itself
         # to both endpoint supernodes, each supernode min-folds the offers.
@@ -60,7 +62,7 @@ def boruvka_mst(
             charge_label=label,
         )
         chosen: set[Edge] = set()
-        for node in graph.nodes():
+        for node in engine.node_list:
             offer = result.aggregate.get(node)
             if offer is not None:
                 chosen.add(edge_key(*offer[1]))

@@ -24,6 +24,7 @@ from typing import Any, Callable, Hashable, Iterable
 import networkx as nx
 
 from repro.accounting import RoundAccountant
+from repro.graphs.csr import CSRGraph
 from repro.ma.operators import Operator, estimate_bits
 from repro.trees.rooted import edge_key
 
@@ -54,13 +55,16 @@ def _stable_min(ids: Iterable[Node]) -> Node:
 
 
 class MinorAggregationEngine:
-    """Executes Minor-Aggregation rounds over a weighted networkx graph.
+    """Executes Minor-Aggregation rounds over a weighted graph.
 
     Parameters
     ----------
     graph:
-        The communication topology.  Must stay fixed for the engine's
-        lifetime (the *minor* changes per round via contraction flags).
+        The communication topology -- a weighted networkx graph or a
+        :class:`~repro.graphs.csr.CSRGraph` (node/edge enumerations are
+        then derived from the flat indptr/edge arrays instead of dict
+        scans).  Must stay fixed for the engine's lifetime (the *minor*
+        changes per round via contraction flags).
     accountant:
         Ledger charged one round per :meth:`round` call.
     measure_bits:
@@ -70,26 +74,63 @@ class MinorAggregationEngine:
 
     def __init__(
         self,
-        graph: nx.Graph,
+        graph: "nx.Graph | CSRGraph",
         accountant: RoundAccountant | None = None,
         measure_bits: bool = False,
     ):
-        if graph.number_of_nodes() == 0:
-            raise ValueError("empty graph")
-        if not nx.is_connected(graph):
-            raise ValueError("Minor-Aggregation requires a connected graph")
+        if isinstance(graph, CSRGraph):
+            if graph.n == 0:
+                raise ValueError("empty graph")
+            if not graph.is_connected():
+                raise ValueError("Minor-Aggregation requires a connected graph")
+            labels = graph.node_labels()
+            self.node_list: list[Node] = labels
+            # Canonical edge-table order; self-loops are never minor edges.
+            self.edge_list: list[tuple[Edge, Node, Node]] = [
+                (edge_key(labels[a], labels[b]), labels[a], labels[b])
+                for a, b in zip(graph.edge_u.tolist(), graph.edge_v.tolist())
+                if a != b
+            ]
+        else:
+            if graph.number_of_nodes() == 0:
+                raise ValueError("empty graph")
+            if not nx.is_connected(graph):
+                raise ValueError("Minor-Aggregation requires a connected graph")
+            self.node_list = list(graph.nodes())
+            # Frozen once in graph.edges() order: the per-round edge walk
+            # reuses precomputed canonical keys instead of re-deriving them.
+            self.edge_list = [
+                (edge_key(u, v), u, v) for u, v in graph.edges() if u != v
+            ]
         self.graph = graph
+        self.n = len(self.node_list)
         self.acct = accountant or RoundAccountant()
         self.measure_bits = measure_bits
         self.rounds_executed = 0
+        self._edge_keys: frozenset | None = None
+
+    def edge_keys(self) -> frozenset:
+        """All canonical edge keys (cached; used by full-contraction rounds)."""
+        if self._edge_keys is None:
+            self._edge_keys = frozenset(edge for edge, _u, _v in self.edge_list)
+        return self._edge_keys
+
+    def edge_weight(self, edge: Edge) -> float:
+        """Weight of a (canonical) edge on the underlying topology."""
+        u, v = edge
+        if isinstance(self.graph, CSRGraph):
+            return self.graph.edge_weight(
+                self.graph.index_of(u), self.graph.index_of(v), default=1
+            )
+        return self.graph[u][v].get("weight", 1)
 
     # ------------------------------------------------------------------
     def _supernodes(self, contracted: set[Edge]) -> dict[Node, Node]:
-        uf = nx.utils.UnionFind(self.graph.nodes())
+        uf = nx.utils.UnionFind(self.node_list)
         for u, v in contracted:
             uf.union(u, v)
         groups: dict[Node, list[Node]] = {}
-        for node in self.graph.nodes():
+        for node in self.node_list:
             groups.setdefault(uf[node], []).append(node)
         supernode: dict[Node, Node] = {}
         for members in groups.values():
@@ -105,9 +146,7 @@ class MinorAggregationEngine:
             return set()
         if callable(contract):
             return {
-                edge_key(u, v)
-                for u, v in self.graph.edges()
-                if contract(edge_key(u, v))
+                edge for edge, _u, _v in self.edge_list if contract(edge)
             }
         return {edge_key(u, v) for (u, v) in contract}
 
@@ -149,7 +188,7 @@ class MinorAggregationEngine:
             else:
                 getter = lambda v: node_input.get(v, consensus_op.identity())
             per_super: dict[Node, Any] = {}
-            for node in self.graph.nodes():
+            for node in self.node_list:
                 value = getter(node)
                 self._audit(value)
                 sid = supernode[node]
@@ -157,18 +196,17 @@ class MinorAggregationEngine:
                     per_super[sid] = consensus_op.combine(per_super[sid], value)
                 else:
                     per_super[sid] = consensus_op.combine(consensus_op.identity(), value)
-            for node in self.graph.nodes():
+            for node in self.node_list:
                 consensus[node] = per_super[supernode[node]]
 
         # --- Aggregation step ------------------------------------------
         aggregate: dict[Node, Any] = {}
         if aggregate_op is not None and edge_message is not None:
             per_super_agg: dict[Node, Any] = {}
-            for u, v in self.graph.edges():
+            for edge, u, v in self.edge_list:
                 su, sv = supernode[u], supernode[v]
                 if su == sv:
                     continue  # self-loop of the minor: removed
-                edge = edge_key(u, v)
                 z_u, z_v = edge_message(edge, u, v, consensus.get(u), consensus.get(v))
                 self._audit(z_u)
                 self._audit(z_v)
@@ -179,7 +217,7 @@ class MinorAggregationEngine:
                         per_super_agg[sid] = aggregate_op.combine(
                             aggregate_op.identity(), z
                         )
-            for node in self.graph.nodes():
+            for node in self.node_list:
                 sid = supernode[node]
                 aggregate[node] = per_super_agg.get(sid, aggregate_op.identity())
 
@@ -191,12 +229,12 @@ class MinorAggregationEngine:
     def broadcast(self, values: dict[Node, Any], op: Operator, label: str = "broadcast") -> Any:
         """Contract everything and fold all inputs: a global consensus round."""
         result = self.round(
-            contract=set(edge_key(u, v) for u, v in self.graph.edges()),
+            contract=self.edge_keys(),
             node_input=values,
             consensus_op=op,
             charge_label=label,
         )
-        return result.consensus[next(iter(self.graph.nodes()))]
+        return result.consensus[self.node_list[0]]
 
     def neighbor_exchange(
         self,

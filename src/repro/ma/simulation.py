@@ -70,21 +70,30 @@ def mixing_simulation_cost(n: int) -> float:
 
 def congest_estimates(
     ma_rounds: float,
-    graph: nx.Graph | None = None,
+    graph=None,
     n: int | None = None,
     diameter: int | None = None,
     shortcut_quality: float | None = None,
 ) -> CongestEstimates:
     """All Theorem 17 conversions for one execution.
 
-    Either pass the ``graph`` (n and diameter are computed) or pass ``n``
-    and ``diameter`` directly.  ``shortcut_quality`` defaults to the
-    existential ``D + sqrt(n)`` bound of [GH16].
+    Either pass the ``graph`` -- networkx or a
+    :class:`~repro.graphs.csr.CSRGraph` (n and diameter are computed, the
+    latter via all-sources CSR BFS) -- or pass ``n`` and ``diameter``
+    directly.  ``shortcut_quality`` defaults to the existential
+    ``D + sqrt(n)`` bound of [GH16].
     """
     if graph is not None:
-        n = graph.number_of_nodes()
-        if diameter is None:
-            diameter = nx.diameter(graph)
+        from repro.graphs.csr import CSRGraph
+
+        if isinstance(graph, CSRGraph):
+            n = graph.n
+            if diameter is None:
+                diameter = graph.diameter()
+        else:
+            n = graph.number_of_nodes()
+            if diameter is None:
+                diameter = nx.diameter(graph)
     if n is None or diameter is None:
         raise ValueError("need a graph, or both n and diameter")
     if shortcut_quality is None:

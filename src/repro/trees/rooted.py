@@ -10,6 +10,7 @@ sets, depth, subtrees, descending paths, and the LCA.  A
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Mapping
 from typing import TYPE_CHECKING, Hashable, Iterable, Iterator
 
 import networkx as nx
@@ -41,14 +42,23 @@ class RootedTree:
     ----------
     tree:
         A :class:`networkx.Graph` that is a tree (or forest containing the
-        root's component; only the root's component is indexed).
+        root's component; only the root's component is indexed), **or** a
+        plain adjacency mapping ``node -> sequence of neighbors`` -- the
+        representation the CSR pipeline hands over, so no networkx object
+        is ever required on that path.
     root:
         The designated root node.
     """
 
-    def __init__(self, tree: nx.Graph, root: Node):
+    def __init__(self, tree: "nx.Graph | Mapping", root: Node):
         if root not in tree:
             raise ValueError(f"root {root!r} not in tree")
+        if isinstance(tree, Mapping):
+            neighbors_of = tree.__getitem__
+            total_nodes = len(tree)
+        else:
+            neighbors_of = tree.neighbors
+            total_nodes = tree.number_of_nodes()
         self.root = root
         self.parent: dict[Node, Node | None] = {root: None}
         self.children: dict[Node, list[Node]] = {}
@@ -59,7 +69,7 @@ class RootedTree:
             node = queue.popleft()
             self.order.append(node)
             self.children[node] = []
-            for nbr in tree.neighbors(node):
+            for nbr in neighbors_of(node):
                 if nbr == self.parent[node]:
                     continue
                 if nbr in self.parent:
@@ -68,7 +78,7 @@ class RootedTree:
                 self.depth[nbr] = self.depth[node] + 1
                 self.children[node].append(nbr)
                 queue.append(nbr)
-        if len(self.order) != tree.number_of_nodes():
+        if len(self.order) != total_nodes:
             raise ValueError("input graph is not connected")
         self._kernel: "TreeKernel | None" = None
         self._edge_set: frozenset | None = None

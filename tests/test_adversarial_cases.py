@@ -53,7 +53,7 @@ class TestForcedTwoRespecting:
     def test_pipeline_agrees_when_optimum_is_pair(self, seed):
         """Random graphs conditioned on the per-tree optimum being a pair."""
         found = 0
-        for offset in range(20):
+        for offset in range(60):
             graph = random_connected_gnm(
                 18, 26, seed=seed * 100 + offset, weight_high=10
             )

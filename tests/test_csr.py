@@ -1,0 +1,445 @@
+"""CSR graph subsystem: canonical form, conversions, persistence, and the
+seeded equivalence of the CSR pipeline against the networkx reference path.
+
+The headline contract: for every CLI family and seed, ``minimum_cut`` on
+the CSR-direct graph returns *bit-identical* values, witnesses, and
+partitions to the networkx path -- and the CSR hot path (generator ->
+packing -> batched per-tree solve -> oracle) never constructs a networkx
+object.
+"""
+
+import random
+
+import networkx as nx
+import numpy as np
+import pytest
+
+import repro
+from repro.core.cut_values import two_respecting_oracle
+from repro.core.tree_packing import pack_trees
+from repro.graphs import (
+    CSR_FAMILY_BUILDERS,
+    CSRGraph,
+    barbell_graph,
+    csr_random_connected_gnm,
+    cycle_graph,
+    delaunay_planar_graph,
+    expander_graph,
+    grid_graph,
+    planted_cut_graph,
+    random_connected_gnm,
+    random_spanning_tree,
+    tree_plus_chords,
+    validate_weights,
+)
+from repro.kernel.batched import batched_two_respecting_oracle
+from repro.kernel.cut_kernel import GraphArrays
+from repro.trees.rooted import RootedTree
+
+#: networkx twins of the CLI family builders (same args as CSR_FAMILY_BUILDERS).
+NX_FAMILY_BUILDERS = {
+    "gnm": lambda n, s: random_connected_gnm(n, int(2.5 * n), seed=s),
+    "grid": lambda n, s: grid_graph(
+        max(2, int(n ** 0.5)),
+        max(2, round(n / max(2, int(n ** 0.5)))),
+        seed=s,
+    ),
+    "delaunay": lambda n, s: delaunay_planar_graph(n, seed=s),
+    "cycle": lambda n, s: cycle_graph(n, seed=s),
+    "expander": lambda n, s: expander_graph(n, seed=s),
+    "barbell": lambda n, s: barbell_graph(max(3, n // 4), max(2, n // 2), seed=s),
+    "tree-chords": lambda n, s: tree_plus_chords(n, max(2, n // 5), seed=s),
+    "planted": lambda n, s: planted_cut_graph(n // 2, n - n // 2, seed=s),
+}
+
+
+class TestCanonicalForm:
+    def test_rows_sorted_and_oriented(self):
+        graph = CSRGraph(4, [3, 0, 2, 1], [1, 2, 0, 3], [5, 6, 7, 8])
+        assert (graph.edge_u <= graph.edge_v).all()
+        pairs = list(zip(graph.edge_u.tolist(), graph.edge_v.tolist()))
+        assert pairs == sorted(pairs)
+
+    def test_parallel_edges_merge_by_weight_sum(self):
+        graph = CSRGraph(3, [0, 1, 2], [1, 0, 1], [2, 3, 4])
+        assert graph.m == 2
+        assert graph.edge_weight(0, 1) == 5
+        assert graph.edge_weight(1, 2) == 4
+
+    def test_self_loops_representable(self):
+        graph = CSRGraph(2, [0, 0], [0, 1], [3, 7])
+        assert graph.m == 2
+        assert graph.has_edge(0, 0)
+        assert graph.degrees().tolist() == [3, 1]  # self-loop counts twice
+        assert graph.drop_self_loops().m == 1
+
+    def test_zero_weight_edges_survive(self):
+        graph = CSRGraph(3, [0, 1], [1, 2], [0, 4])
+        assert graph.m == 2
+        assert graph.edge_weight(0, 1) == 0
+
+    def test_mixed_int_and_label_endpoints_stay_distinct(self):
+        graph = CSRGraph.from_edge_list([("a", 0, 2)])
+        assert graph.n == 2
+        assert graph.nodes == ["a", 0]
+        graph = CSRGraph.from_edge_list([(0, "a", 1), ("a", 1, 1)])
+        assert graph.n == 3
+        assert graph.nodes == [0, "a", 1]
+
+    def test_from_edge_list_rejects_inconsistent_n(self):
+        with pytest.raises(ValueError, match="disagrees"):
+            CSRGraph.from_edge_list([("a", "b", 1), ("b", "c", 1)], n=2)
+
+    def test_adjacency_slices(self):
+        graph = CSRGraph(4, [0, 0, 1], [1, 2, 3], [1, 2, 3])
+        assert graph.neighbors(0).tolist() == [1, 2]
+        assert graph.neighbor_weights(0).tolist() == [1.0, 2.0]
+        assert graph.neighbors(3).tolist() == [1]
+        assert graph.weighted_degrees().tolist() == [3.0, 4.0, 2.0, 3.0]
+
+
+class TestWeightValidation:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            CSRGraph(2, [0], [1], [-1.0])
+
+    def test_nan_weight_rejected(self):
+        with pytest.raises(ValueError, match="NaN|nan"):
+            CSRGraph(2, [0], [1], [float("nan")])
+
+    def test_inf_weight_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(2, [0], [1], [float("inf")])
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValueError, match="numeric"):
+            validate_weights(["heavy"], context="test")
+
+    def test_graph_arrays_rejects_bad_nx_weights(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=-3)
+        with pytest.raises(ValueError, match="negative"):
+            GraphArrays.from_graph(graph)
+        graph[0][1]["weight"] = float("nan")
+        with pytest.raises(ValueError):
+            GraphArrays.from_graph(graph)
+
+    def test_minimum_cut_reports_bad_weights_up_front(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=5)
+        graph.add_edge(1, 2, weight=-2)
+        graph.add_edge(0, 2, weight=1)
+        with pytest.raises(ValueError, match="negative"):
+            repro.minimum_cut(graph, seed=0, solver="oracle")
+
+
+class TestNetworkxRoundTrip:
+    @pytest.mark.parametrize("family", sorted(CSR_FAMILY_BUILDERS))
+    def test_from_to_networkx(self, family):
+        csr = CSR_FAMILY_BUILDERS[family](20, 3)
+        graph = csr.to_networkx()
+        back = CSRGraph.from_networkx(graph)
+        assert back.n == csr.n
+        assert (back.edge_u == csr.edge_u).all()
+        assert (back.edge_v == csr.edge_v).all()
+        assert (back.edge_w == csr.edge_w).all()
+
+    def test_integer_weights_come_back_as_python_ints(self):
+        csr = csr_random_connected_gnm(12, 20, seed=1)
+        graph = csr.to_networkx()
+        assert all(
+            isinstance(d["weight"], int) for *_e, d in graph.edges(data=True)
+        )
+
+    def test_float_weights_preserved(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b", weight=2.5)
+        graph.add_edge("b", "c", weight=1)
+        csr = CSRGraph.from_networkx(graph)
+        assert not csr.int_weights
+        out = csr.to_networkx()
+        assert out["a"]["b"]["weight"] == 2.5
+
+    def test_labelled_nodes_round_trip(self):
+        graph = nx.Graph()
+        graph.add_edge("x", "y", weight=2)
+        graph.add_edge("y", "z", weight=3)
+        csr = CSRGraph.from_networkx(graph)
+        assert csr.nodes == ["x", "y", "z"]
+        out = csr.to_networkx()
+        assert set(out.nodes()) == {"x", "y", "z"}
+        assert out["x"]["y"]["weight"] == 2
+
+    def test_meta_round_trip(self):
+        csr = CSR_FAMILY_BUILDERS["planted"](20, 0)
+        graph = csr.to_networkx()
+        assert graph.graph["planted_cut_value"] == csr.meta["planted_cut_value"]
+
+    def test_self_loop_round_trip(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 0, weight=4)
+        graph.add_edge(0, 1, weight=2)
+        csr = CSRGraph.from_networkx(graph)
+        assert csr.m == 2
+        out = csr.to_networkx()
+        assert out[0][0]["weight"] == 4
+
+
+class TestNpzPersistence:
+    def test_round_trip_identity_labels(self, tmp_path):
+        csr = csr_random_connected_gnm(18, 40, seed=5)
+        path = tmp_path / "g.npz"
+        csr.save_npz(path)
+        loaded = CSRGraph.load_npz(path)
+        assert loaded.n == csr.n
+        assert (loaded.edge_u == csr.edge_u).all()
+        assert (loaded.edge_w == csr.edge_w).all()
+        assert loaded.nodes is None
+
+    def test_round_trip_labels(self, tmp_path):
+        csr = CSRGraph.from_edge_list([("a", "b", 3), ("b", "c", 7)])
+        path = tmp_path / "labelled.npz"
+        csr.save_npz(path)
+        loaded = CSRGraph.load_npz(path)
+        assert loaded.nodes == ["a", "b", "c"]
+        assert loaded.edge_w.tolist() == [3.0, 7.0]
+
+    def test_mincut_equal_after_round_trip(self, tmp_path):
+        csr = csr_random_connected_gnm(16, 36, seed=7)
+        path = tmp_path / "g.npz"
+        csr.save_npz(path)
+        loaded = CSRGraph.load_npz(path)
+        a = repro.minimum_cut(csr, seed=1, solver="oracle", compute_congest=False)
+        b = repro.minimum_cut(loaded, seed=1, solver="oracle", compute_congest=False)
+        assert a.value == b.value
+        assert a.partition == b.partition
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "not_a_graph.npz"
+        np.savez(path, stuff=np.arange(3))
+        with pytest.raises(ValueError):
+            CSRGraph.load_npz(path)
+
+    def test_integer_labels_survive_round_trip(self, tmp_path):
+        graph = nx.Graph()
+        graph.add_edge(1, 2, weight=4)
+        graph.add_edge(2, 3, weight=5)
+        csr = CSRGraph.from_networkx(graph)  # non-identity int labels
+        path = tmp_path / "ints.npz"
+        csr.save_npz(path)
+        loaded = CSRGraph.load_npz(path)
+        assert loaded.nodes == [1, 2, 3]
+
+    def test_mixed_label_table_rejected(self, tmp_path):
+        csr = CSRGraph.from_edge_list([("a", 0, 1)])
+        with pytest.raises(ValueError, match="all-int or all-str"):
+            csr.save_npz(tmp_path / "mixed.npz")
+
+
+class TestPrimitives:
+    def test_bfs_and_connectivity(self):
+        csr = csr_random_connected_gnm(25, 50, seed=2)
+        graph = csr.to_networkx()
+        dist = csr.bfs_levels(0)
+        expected = nx.single_source_shortest_path_length(graph, 0)
+        assert {i: d for i, d in enumerate(dist.tolist())} == expected
+        assert csr.is_connected()
+        assert csr.diameter() == nx.diameter(graph)
+
+    def test_disconnected_detected(self):
+        csr = CSRGraph(4, [0, 2], [1, 3], [1, 1])
+        assert not csr.is_connected()
+        labels = csr.connected_components()
+        assert labels.tolist() == [0, 0, 2, 2]
+
+    def test_subgraph_matches_networkx(self):
+        csr = csr_random_connected_gnm(20, 60, seed=4)
+        keep = np.array([0, 3, 5, 7, 9, 11, 13])
+        sub, mapping = csr.subgraph(keep)
+        ref = csr.to_networkx().subgraph(keep.tolist())
+        assert sub.m == ref.number_of_edges()
+        for a, b, w in zip(sub.edge_u, sub.edge_v, sub.edge_w):
+            assert ref[mapping[a]][mapping[b]]["weight"] == w
+
+    def test_contract_merges_weights(self):
+        csr = CSRGraph(4, [0, 1, 2, 0], [1, 2, 3, 3], [1, 2, 3, 4])
+        quotient, dense = csr.contract(np.array([0, 0, 1, 1]))
+        assert quotient.n == 2
+        # (1,2)-edge of weight 2 and (0,3)-edge of weight 4 merge across.
+        assert quotient.m == 1
+        assert quotient.edge_weight(0, 1) == 6
+        assert dense.tolist() == [0, 0, 1, 1]
+
+    def test_degrees_match_networkx(self):
+        csr = CSR_FAMILY_BUILDERS["delaunay"](30, 1)
+        graph = csr.to_networkx()
+        assert csr.degrees().tolist() == [graph.degree(i) for i in range(csr.n)]
+
+
+class TestGeneratorEquivalence:
+    @pytest.mark.parametrize("family", sorted(CSR_FAMILY_BUILDERS))
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_same_weighted_graph(self, family, seed):
+        csr = CSR_FAMILY_BUILDERS[family](24, seed)
+        graph = NX_FAMILY_BUILDERS[family](24, seed)
+        expected = sorted((u, v, d["weight"]) for u, v, d in graph.edges(data=True))
+        actual = sorted(
+            (int(u), int(v), int(w))
+            for u, v, w in zip(csr.edge_u, csr.edge_v, csr.edge_w)
+        )
+        assert actual == expected
+
+    def test_random_spanning_tree_csr(self):
+        csr = csr_random_connected_gnm(20, 50, seed=6)
+        tree = random_spanning_tree(csr, seed=3)
+        assert isinstance(tree, CSRGraph)
+        assert tree.m == csr.n - 1
+        assert tree.is_connected()
+        # Every tree edge is a graph edge with the graph's weight.
+        for u, v, w in zip(tree.edge_u, tree.edge_v, tree.edge_w):
+            assert csr.edge_weight(int(u), int(v)) == w
+
+
+class TestPackingEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_identical_trees_both_paths(self, seed):
+        csr = csr_random_connected_gnm(22, 55, seed=seed)
+        graph = csr.to_networkx()
+        pc = pack_trees(csr, seed=seed)
+        pn = pack_trees(graph, seed=seed)
+        assert pc.sampled == pn.sampled
+        assert pc.sampling_probability == pn.sampling_probability
+        assert pc.approx_cut_value == pn.approx_cut_value
+        assert pc.ma_rounds == pn.ma_rounds
+        assert len(pc.trees) == len(pn.trees)
+        for adjacency, tree in zip(pc.trees, pn.trees):
+            csr_edges = sorted(
+                (u, v) for u in adjacency for v in adjacency[u] if u < v
+            )
+            nx_edges = sorted(tuple(sorted(e)) for e in tree.edges())
+            assert csr_edges == nx_edges
+
+
+class TestMinimumCutEquivalence:
+    """The acceptance bar: bit-identical results on every CLI family."""
+
+    @pytest.mark.parametrize("family", sorted(CSR_FAMILY_BUILDERS))
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_oracle_solver_bit_identical(self, family, seed):
+        csr = CSR_FAMILY_BUILDERS[family](24, seed)
+        graph = NX_FAMILY_BUILDERS[family](24, seed)
+        a = repro.minimum_cut(csr, seed=seed, solver="oracle", compute_congest=False)
+        b = repro.minimum_cut(graph, seed=seed, solver="oracle", compute_congest=False)
+        assert a.value == b.value
+        assert a.partition == b.partition
+        assert a.cut_edges == b.cut_edges
+        assert a.best_tree_index == b.best_tree_index
+        assert a.candidate.edges == b.candidate.edges
+
+    @pytest.mark.parametrize("family", ["gnm", "planted", "cycle"])
+    def test_minor_aggregation_solver_bit_identical(self, family):
+        csr = CSR_FAMILY_BUILDERS[family](20, 2)
+        graph = NX_FAMILY_BUILDERS[family](20, 2)
+        a = repro.minimum_cut(csr, seed=2, compute_congest=False)
+        b = repro.minimum_cut(graph, seed=2, compute_congest=False)
+        assert a.value == b.value
+        assert a.partition == b.partition
+        assert a.cut_edges == b.cut_edges
+        assert a.ma_rounds == b.ma_rounds
+
+    def test_no_networkx_constructed_on_hot_path(self, monkeypatch):
+        csr = csr_random_connected_gnm(26, 60, seed=9)
+
+        def forbidden(self, *args, **kwargs):
+            raise AssertionError("networkx.Graph constructed on the CSR hot path")
+
+        monkeypatch.setattr(nx.Graph, "__init__", forbidden)
+        result = repro.minimum_cut(
+            csr, seed=9, solver="oracle", compute_congest=True
+        )
+        assert result.value > 0
+
+    def test_labelled_csr_witnesses_in_label_space(self):
+        csr = CSRGraph.from_edge_list(
+            [("a", "b", 5), ("b", "c", 1), ("c", "a", 2), ("c", "d", 1), ("d", "b", 1)]
+        )
+        result = repro.minimum_cut(csr, seed=0, solver="oracle", compute_congest=False)
+        side_a, side_b = result.partition
+        assert side_a | side_b == {"a", "b", "c", "d"}
+        for u, v in result.cut_edges:
+            assert {u, v} <= {"a", "b", "c", "d"}
+        expected, _ = nx.stoer_wagner(csr.to_networkx())
+        assert result.value == expected
+
+    def test_congest_estimates_from_csr_diameter(self):
+        csr = CSR_FAMILY_BUILDERS["cycle"](16, 0)
+        result = repro.minimum_cut(csr, seed=0, solver="oracle")
+        ref = repro.minimum_cut(csr.to_networkx(), seed=0, solver="oracle")
+        assert result.congest.general == ref.congest.general
+        assert result.congest.excluded_minor == ref.congest.excluded_minor
+
+
+class TestBatchedSolver:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_per_tree_oracle(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(8, 40)
+        graph = random_connected_gnm(n, rng.randint(n, 3 * n), seed=seed + 77)
+        arrays = GraphArrays.from_graph(graph)
+        trees = [
+            RootedTree(random_spanning_tree(graph, seed=seed * 10 + k), 0)
+            for k in range(5)
+        ]
+        batched = batched_two_respecting_oracle(arrays, trees)
+        for tree, candidate in zip(trees, batched):
+            reference = two_respecting_oracle(graph, tree, arrays=arrays)
+            assert candidate.value == reference.value
+            assert candidate.edges == reference.edges
+
+    def test_chunking_preserves_results(self, monkeypatch):
+        graph = random_connected_gnm(18, 40, seed=13)
+        arrays = GraphArrays.from_graph(graph)
+        trees = [
+            RootedTree(random_spanning_tree(graph, seed=k), 0) for k in range(6)
+        ]
+        full = batched_two_respecting_oracle(arrays, trees)
+        monkeypatch.setenv("REPRO_BATCH_BYTES", "1")  # forces chunk size 1
+        chunked = batched_two_respecting_oracle(arrays, trees)
+        assert [c.value for c in full] == [c.value for c in chunked]
+        assert [c.edges for c in full] == [c.edges for c in chunked]
+
+    def test_empty_tree_list(self):
+        graph = random_connected_gnm(6, 9, seed=1)
+        assert batched_two_respecting_oracle(GraphArrays.from_graph(graph), []) == []
+
+
+class TestEnginesOnCSR:
+    def test_congest_network_from_indptr(self):
+        from repro.congest.network import CongestNetwork
+
+        csr = csr_random_connected_gnm(12, 25, seed=3)
+        net_csr = CongestNetwork(csr)
+        net_nx = CongestNetwork(csr.to_networkx())
+        assert net_csr.n == net_nx.n
+        assert net_csr._neighbors == net_nx._neighbors
+
+    def test_ma_engine_broadcast_on_csr(self):
+        from repro.ma.engine import MinorAggregationEngine
+        from repro.ma.operators import SUM
+
+        csr = csr_random_connected_gnm(10, 20, seed=4)
+        engine = MinorAggregationEngine(csr)
+        total = engine.broadcast({v: v for v in range(10)}, SUM)
+        assert total == sum(range(10))
+
+    def test_boruvka_on_csr_engine_matches_networkx(self):
+        from repro.accounting import RoundAccountant
+        from repro.ma.boruvka import boruvka_mst
+        from repro.ma.engine import MinorAggregationEngine
+
+        csr = csr_random_connected_gnm(14, 30, seed=5)
+        mst_csr = boruvka_mst(MinorAggregationEngine(csr, RoundAccountant()))
+        mst_nx = boruvka_mst(
+            MinorAggregationEngine(csr.to_networkx(), RoundAccountant())
+        )
+        assert mst_csr == mst_nx
