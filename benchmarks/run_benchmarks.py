@@ -2,16 +2,17 @@
 """Run the benchmark suite and emit a BENCH_*.json trajectory file.
 
 Times every experiment module (E1-E15, ``quick=True`` -- the same code the
-report pipeline runs), the kernel-vs-legacy micro benchmarks, and the CSR
+report pipeline runs), the kernel-vs-legacy micro benchmarks, the CSR
 subsystem benchmarks (construction + end-to-end min-cut, CSR vs networkx
-path), and writes median wall-clock per entry so future perf PRs have a
-committed baseline to diff against.
+path), and the many-graph sweep benchmark (``minimum_cut_many`` vs a
+looped ``minimum_cut``), and writes median wall-clock per entry so future
+perf PRs have a committed baseline to diff against.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_benchmarks.py              # BENCH_PR2.json
+    PYTHONPATH=src python benchmarks/run_benchmarks.py              # BENCH_PR3.json
     PYTHONPATH=src python benchmarks/run_benchmarks.py --out X.json --repeats 5
-    PYTHONPATH=src python benchmarks/run_benchmarks.py --compare BENCH_PR1.json
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --compare BENCH_PR2.json
 
 The kernel micro section doubles as the acceptance check of PR 1: on a
 seeded n=512, m=2048 random graph the kernel-backed ``cover_values`` and
@@ -19,9 +20,15 @@ seeded n=512, m=2048 random graph the kernel-backed ``cover_values`` and
 bit-identical cut values (recorded under ``kernel_micro`` and enforced
 with ``--check``; ``benchmarks/bench_kernel.py`` asserts the same bar).
 
+The ``many`` section is the acceptance check of PR 3: on a 50-graph
+small-instance sweep the batched ``minimum_cut_many`` must be >= 2x the
+throughput of looping ``minimum_cut`` with bit-identical results
+(enforced with ``--check``).
+
 ``--compare BASELINE.json`` is the regression gate: it exits non-zero when
-any kernel metric (the ``kernel_micro`` timings, plus the ``csr`` timings
-when the baseline has them) is more than 10% slower than the baseline.
+any tracked metric (the ``kernel_micro`` timings, plus the ``csr`` and
+``many`` timings when the baseline has them) is more than 10% slower than
+the baseline.
 """
 
 from __future__ import annotations
@@ -63,6 +70,10 @@ CSR_BUILD_M = 8000
 CSR_E2E_N = 192
 CSR_E2E_M = 640
 CSR_SEED = 11
+
+MANY_COUNT = 50
+MANY_N = 24
+MANY_SPEEDUP_FLOOR = 2.0
 #: --compare fails when a tracked metric is more than this much slower.
 REGRESSION_SLACK = 1.10
 
@@ -226,6 +237,61 @@ def run_csr_bench(repeats: int) -> dict:
     return rows
 
 
+def run_many_bench(repeats: int) -> dict:
+    """Sweep throughput: batched ``minimum_cut_many`` vs looped calls."""
+    from repro.core.mincut import minimum_cut
+    from repro.core.session import SolverConfig, minimum_cut_many
+    from repro.graphs import CSR_FAMILY_BUILDERS
+
+    graphs = [
+        CSR_FAMILY_BUILDERS["gnm"](MANY_N, seed) for seed in range(MANY_COUNT)
+    ]
+    seeds = list(range(MANY_COUNT))
+    config = SolverConfig(solver="oracle", compute_congest=False)
+
+    micro_repeats = max(repeats, 5)
+    loop_samples, loop_results = _timed(
+        lambda: [
+            minimum_cut(
+                graph, seed=seed, solver="oracle", compute_congest=False
+            )
+            for graph, seed in zip(graphs, seeds)
+        ],
+        micro_repeats,
+    )
+    many_samples, many_results = _timed(
+        lambda: minimum_cut_many(graphs, config, seeds=seeds), micro_repeats
+    )
+    identical = all(
+        a.value == b.value
+        and a.partition == b.partition
+        and a.candidate == b.candidate
+        and a.ma_rounds == b.ma_rounds
+        for a, b in zip(loop_results, many_results)
+    )
+    speedup = min(loop_samples) / min(many_samples)
+    row = {
+        "count": MANY_COUNT,
+        "n": MANY_N,
+        "family": "gnm",
+        "solver": "oracle",
+        "loop_median_seconds": round(statistics.median(loop_samples), 6),
+        "many_median_seconds": round(statistics.median(many_samples), 6),
+        "loop_best_seconds": round(min(loop_samples), 6),
+        "many_best_seconds": round(min(many_samples), 6),
+        "graphs_per_second": round(MANY_COUNT / min(many_samples), 1),
+        "speedup": round(speedup, 2),
+        "bit_identical": bool(identical),
+    }
+    print(
+        f"  sweep{MANY_COUNT} (gnm n={MANY_N})        "
+        f"many {min(many_samples) * 1e3:8.2f} ms"
+        f"  loop {min(loop_samples) * 1e3:8.2f} ms"
+        f"  speedup {speedup:6.1f}x  identical={identical}"
+    )
+    return {f"sweep{MANY_COUNT}": row}
+
+
 def _tracked_metrics(payload: dict) -> dict[str, float]:
     """Flat name -> seconds for every regression-gated kernel metric."""
     metrics: dict[str, float] = {}
@@ -233,6 +299,8 @@ def _tracked_metrics(payload: dict) -> dict[str, float]:
         metrics[f"kernel_micro.{label}"] = row["kernel_best_seconds"]
     for label, row in payload.get("csr", {}).items():
         metrics[f"csr.{label}"] = row["csr_best_seconds"]
+    for label, row in payload.get("many", {}).items():
+        metrics[f"many.{label}"] = row["many_best_seconds"]
     return metrics
 
 
@@ -268,17 +336,21 @@ def compare_against(baseline_path: str, payload: dict) -> int:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR2.json")
+    parser.add_argument("--out", default="BENCH_PR3.json")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
         "--check",
         action="store_true",
-        help=f"exit non-zero unless the kernel micro speedups are >= {SPEEDUP_FLOOR}x",
+        help=(
+            f"exit non-zero unless the kernel micro speedups are >= "
+            f"{SPEEDUP_FLOOR}x and the many-graph sweep is >= "
+            f"{MANY_SPEEDUP_FLOOR}x"
+        ),
     )
     parser.add_argument(
         "--compare",
         metavar="BASELINE.json",
-        help="exit non-zero when any kernel metric is >10%% slower than the baseline",
+        help="exit non-zero when any tracked metric is >10%% slower than the baseline",
     )
     args = parser.parse_args()
 
@@ -288,15 +360,18 @@ def main() -> int:
     micro = run_kernel_micro(args.repeats)
     print("csr subsystem:")
     csr = run_csr_bench(args.repeats)
+    print("many-graph sweep:")
+    many = run_many_bench(args.repeats)
 
     payload = {
-        "schema": "repro-bench/2",
+        "schema": "repro-bench/3",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "repeats": args.repeats,
         "experiments": experiments,
         "kernel_micro": micro,
         "csr": csr,
+        "many": many,
     }
     out_path = Path(args.out)
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
@@ -304,13 +379,26 @@ def main() -> int:
 
     ok = all(row["bit_identical"] for row in micro.values())
     ok = ok and csr["mincut_oracle"]["bit_identical"]
+    ok = ok and all(row["bit_identical"] for row in many.values())
     fast_enough = all(row["speedup"] >= SPEEDUP_FLOOR for row in micro.values())
+    many_fast_enough = all(
+        row["speedup"] >= MANY_SPEEDUP_FLOOR for row in many.values()
+    )
     if not ok:
-        print("FAIL: kernel results are not identical to legacy", file=sys.stderr)
+        print(
+            "FAIL: batched results are not identical to the reference path",
+            file=sys.stderr,
+        )
         return 1
     if args.check and not fast_enough:
         print(
             f"FAIL: kernel speedup below {SPEEDUP_FLOOR}x", file=sys.stderr
+        )
+        return 1
+    if args.check and not many_fast_enough:
+        print(
+            f"FAIL: many-graph sweep speedup below {MANY_SPEEDUP_FLOOR}x",
+            file=sys.stderr,
         )
         return 1
     if args.compare:

@@ -1,15 +1,16 @@
 #!/usr/bin/env python3
-"""Quickstart: exact weighted min-cut with full round accounting.
+"""Quickstart: the session API, end to end.
 
-Builds a small weighted network, runs the paper's Minor-Aggregation min-cut
-(Theorem 1), checks it against the centralized Stoer-Wagner ground truth,
-and prints the Theorem 17 CONGEST estimates for every regime.
+Builds a small weighted network, configures a ``MinCutSolver`` session,
+runs the paper's Minor-Aggregation min-cut (Theorem 1), re-solves the
+*same* tree packing with the batched oracle and the Stoer-Wagner
+baseline through the solver registry, and prints the Theorem 17 CONGEST
+estimates for every regime.
 
 Run:  python examples/quickstart.py
 """
 
 import repro
-from repro.baselines import stoer_wagner_min_cut
 from repro.graphs import random_connected_gnm
 
 
@@ -17,12 +18,19 @@ def main() -> None:
     graph = random_connected_gnm(48, 120, seed=7, weight_high=40)
     print(f"graph: n={graph.number_of_nodes()}, m={graph.number_of_edges()}")
 
-    result = repro.minimum_cut(graph, seed=7)
-    reference, _partition = stoer_wagner_min_cut(graph)
+    config = repro.SolverConfig()           # default: minor-aggregation
+    solver = repro.MinCutSolver(config)
+
+    # Staged: pack once, solve under several registered solvers.
+    packed = solver.pack(graph, seed=7)
+    result = packed.solve()                          # the paper's solver
+    oracle = packed.solve("oracle")                  # same packing, batched oracle
+    reference = packed.solve("stoer-wagner")         # centralized baseline
 
     print(f"min-cut value          : {result.value}")
-    print(f"Stoer-Wagner reference : {reference}")
-    assert abs(result.value - reference) < 1e-9, "exactness violated!"
+    print(f"oracle re-solve        : {oracle.value}")
+    print(f"Stoer-Wagner reference : {reference.value}")
+    assert result.value == oracle.value == reference.value, "exactness violated!"
 
     side_a, side_b = result.partition
     print(f"partition sizes        : {len(side_a)} | {len(side_b)}")
@@ -38,6 +46,11 @@ def main() -> None:
     print(f"  excluded-minor  ~ Õ(D)         : {est.excluded_minor:,.0f}")
     print(f"  known topology  ~ Õ(SQ(G))     : {est.known_topology:,.0f}")
     print(f"  well-connected  ~ 2^O(√log n)  : {est.mixing:,.0f}")
+
+    # The legacy one-shot spelling still works, bit for bit.
+    legacy = repro.minimum_cut(graph, seed=7)
+    assert legacy.value == result.value
+    assert legacy.partition == result.partition
 
 
 if __name__ == "__main__":

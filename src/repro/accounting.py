@@ -153,6 +153,23 @@ class RoundAccountant:
         else:
             self._total += effective
 
+    def absorb(self, by_label: dict) -> None:
+        """Replay another ledger's (post-scaling) per-label totals verbatim.
+
+        Used by the session API to restore a packing's recorded charges
+        onto a fresh accountant before re-solving without repacking; the
+        amounts are already scaled, so neither the cost model nor any
+        active virtual-overhead multipliers are applied again.
+        """
+        for label, rounds in by_label.items():
+            if rounds < 0:
+                raise ValueError(f"cannot absorb negative rounds: {rounds}")
+            self._by_label[label] += rounds
+            if self._parallel_stack:
+                self._parallel_stack[-1].current += rounds
+            else:
+                self._total += rounds
+
     def record_message_bits(self, bits: int) -> None:
         """Track the largest message ever aggregated (honesty check on B)."""
         if bits > self.max_message_bits:

@@ -75,6 +75,14 @@ def _stoer_wagner(
 
     best_value = float("inf")
     best_side: frozenset = frozenset()
+    # Heap tie-break: historically (-w, str(node), node).  Ranks computed
+    # once reproduce the same pop order -- the rank sorts exactly like the
+    # string, is unique per node (so the node itself is never compared),
+    # and integer comparisons beat per-push str() construction, which
+    # dominated the profile.
+    str_rank = {
+        node: rank for rank, node in enumerate(sorted(adjacency, key=str))
+    }
 
     while len(adjacency) > 1:
         # Maximum adjacency ordering from an arbitrary start.
@@ -83,12 +91,12 @@ def _stoer_wagner(
         connectivity = {
             node: weight for node, weight in adjacency[start].items()
         }
-        heap = [(-w, str(node), node) for node, w in connectivity.items()]
+        heap = [(-w, str_rank[node], node) for node, w in connectivity.items()]
         heapq.heapify(heap)
         order = [start]
         while len(in_order) < len(adjacency):
             while True:
-                negw, _key, node = heapq.heappop(heap)
+                negw, _rank, node = heapq.heappop(heap)
                 if node not in in_order and connectivity.get(node) == -negw:
                     break
             in_order.add(node)
@@ -98,7 +106,7 @@ def _stoer_wagner(
                     continue
                 connectivity[neighbor] = connectivity.get(neighbor, 0) + weight
                 heapq.heappush(
-                    heap, (-connectivity[neighbor], str(neighbor), neighbor)
+                    heap, (-connectivity[neighbor], str_rank[neighbor], neighbor)
                 )
         last, second_last = order[-1], order[-2]
         phase_cut = sum(adjacency[last].values())

@@ -5,13 +5,22 @@ Usage (also available as ``python -m repro``):
     python -m repro mincut --edges network.txt
     python -m repro mincut --edges network.npz
     python -m repro mincut --family delaunay --n 80 --seed 3 --verbose
+    python -m repro mincut --family gnm --solver stoer-wagner
+    python -m repro sweep --family gnm --n 24 --count 50 --json out.json
     python -m repro generate --family grid --n 49 --out grid.npz
     python -m repro info
 
 The ``mincut`` command reads a whitespace-separated edge list
 (``u v weight`` per line, weight optional) or a ``.npz`` CSR dump, or
-generates one of the built-in families, runs the exact min-cut, and prints
-the value, the partition, the witness, and the round accounting.
+generates one of the built-in families, runs the exact min-cut through a
+:class:`~repro.core.session.MinCutSolver` session, and prints the value,
+the partition, the witness, and the round accounting.  ``--solver``
+accepts any name in the solver registry -- including entries added at
+run time with :func:`repro.register_solver`.
+
+The ``sweep`` command runs a whole family sweep through the batched
+:func:`repro.minimum_cut_many` entrypoint (one amortized pipeline across
+all instances, bit-identical to per-graph runs) and reports JSON.
 
 Graphs are built on the CSR fast path by default.  With ``--solver
 oracle`` the whole pipeline stays on flat arrays (no networkx object is
@@ -19,46 +28,44 @@ constructed); the default ``minor-aggregation`` solver simulates the
 paper's distributed recursion, which crosses the networkx boundary once
 per run.  ``--backend networkx`` forces the legacy reference path; both
 backends return bit-identical results.
+
+There is exactly **one** family table: the CSR-first builders in
+:data:`repro.graphs.CSR_FAMILY_BUILDERS`.  The networkx-returning
+``FAMILIES`` view below wraps each builder in ``to_networkx()``, so a
+family added to the CSR table is automatically available on both
+backends (and in both ``mincut`` and ``sweep``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
 import networkx as nx
 
 import repro
-from repro.graphs import (
-    CSR_FAMILY_BUILDERS,
-    CSRGraph,
-    barbell_graph,
-    cycle_graph,
-    delaunay_planar_graph,
-    expander_graph,
-    grid_graph,
-    planted_cut_graph,
-    random_connected_gnm,
-    tree_plus_chords,
-)
+from repro.core.registry import registered_solvers, solver_descriptions
+from repro.graphs import CSR_FAMILY_BUILDERS, CSRGraph
 
-#: networkx-returning builders (legacy backend and external callers).
-FAMILIES = {
-    "gnm": lambda n, seed: random_connected_gnm(n, int(2.5 * n), seed=seed),
-    "grid": lambda n, seed: grid_graph(
-        max(2, int(n ** 0.5)), max(2, round(n / max(2, int(n ** 0.5)))), seed=seed
-    ),
-    "delaunay": lambda n, seed: delaunay_planar_graph(n, seed=seed),
-    "cycle": lambda n, seed: cycle_graph(n, seed=seed),
-    "expander": lambda n, seed: expander_graph(n, seed=seed),
-    "barbell": lambda n, seed: barbell_graph(max(3, n // 4), max(2, n // 2), seed=seed),
-    "tree-chords": lambda n, seed: tree_plus_chords(n, max(2, n // 5), seed=seed),
-    "planted": lambda n, seed: planted_cut_graph(n // 2, n - n // 2, seed=seed),
-}
 
-#: CSR-direct builders -- the same families, same seeds, same weighted
-#: graphs, no networkx object constructed.
+def _networkx_family(builder):
+    def build(n: int, seed: int) -> nx.Graph:
+        return builder(n, seed).to_networkx()
+
+    return build
+
+
+#: CSR-direct builders -- the single source of truth for CLI families.
 CSR_FAMILIES = CSR_FAMILY_BUILDERS
+
+#: networkx-returning view of the same families (legacy backend and
+#: external callers): identical weighted graphs, edge for edge.
+FAMILIES = {
+    name: _networkx_family(builder)
+    for name, builder in CSR_FAMILY_BUILDERS.items()
+}
 
 
 def read_edge_list(path: str) -> nx.Graph:
@@ -110,37 +117,53 @@ def write_edge_list(graph, out) -> None:
         out.write(f"{u} {v} {data.get('weight', 1)}\n")
 
 
+def _family_builder(name: str, backend: str):
+    """Resolve a family name for a backend; unknown names list what exists.
+
+    The same registry-style treatment unknown solvers get: the error
+    enumerates every registered family instead of guessing.
+    """
+    families = CSR_FAMILIES if backend == "csr" else FAMILIES
+    builder = families.get(name)
+    if builder is None:
+        known = ", ".join(sorted(families))
+        raise SystemExit(f"unknown family {name!r}; registered families: {known}")
+    return builder
+
+
 def _build_graph(args):
-    use_csr = getattr(args, "backend", "csr") == "csr"
-    if args.edges:
+    backend = getattr(args, "backend", "csr")
+    use_csr = backend == "csr"
+    if getattr(args, "edges", None):
         if args.edges.endswith(".npz"):
             graph = CSRGraph.load_npz(args.edges)
             return graph if use_csr else graph.to_networkx()
         return (read_edge_list_csr if use_csr else read_edge_list)(args.edges)
-    families = CSR_FAMILIES if use_csr else FAMILIES
-    if args.family not in families:
-        raise SystemExit(f"unknown family {args.family!r}; try: {sorted(families)}")
-    return families[args.family](args.n, args.seed)
+    return _family_builder(args.family, backend)(args.n, args.seed)
 
 
 def cmd_mincut(args) -> int:
+    config = repro.SolverConfig.from_args(args)
     graph = _build_graph(args)
-    result = repro.minimum_cut(
-        graph,
-        seed=args.seed,
-        solver=args.solver,
-        num_trees=args.trees,
-    )
+    try:
+        result = repro.MinCutSolver(config).solve(graph, seed=args.seed)
+    except ValueError as error:
+        raise SystemExit(str(error))
     print(f"min-cut value : {result.value}")
     side_a, side_b = result.partition
     print(f"partition     : {len(side_a)} | {len(side_b)} nodes")
     print(f"cut edges     : {sorted(map(str, result.cut_edges))}")
-    print(f"witness       : {result.candidate.kind} "
-          f"{tuple(map(str, result.respecting_edges))} "
-          f"on packed tree #{result.best_tree_index}")
+    if result.respecting_edges:
+        print(f"witness       : {result.candidate.kind} "
+              f"{tuple(map(str, result.respecting_edges))} "
+              f"on packed tree #{result.best_tree_index}")
+    else:
+        print(f"witness       : partition reported by {result.solver} "
+              "(no respecting tree edges)")
     if args.verbose:
         backend = "csr" if isinstance(graph, CSRGraph) else "networkx"
         print(f"backend       : {backend}")
+        print(f"solver        : {result.solver}")
         print(f"packed trees  : {len(result.packing.trees)} "
               f"(sampled={result.packing.sampled})")
         print(f"MA rounds     : {result.ma_rounds:,.0f}")
@@ -151,6 +174,50 @@ def cmd_mincut(args) -> int:
             print(f"  excluded-minor ~ {est.excluded_minor:,.0f}")
             print(f"  known topology ~ {est.known_topology:,.0f}")
             print(f"  well-connected ~ {est.mixing:,.0f}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Run a family sweep through the batched many-graph entrypoint."""
+    config = repro.SolverConfig.from_args(args)
+    builder = _family_builder(args.family, config.backend)
+    seeds = list(range(args.seed, args.seed + args.count))
+    graphs = [builder(args.n, seed) for seed in seeds]
+    start = time.perf_counter()
+    try:
+        results = repro.minimum_cut_many(graphs, config, seeds=seeds)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    elapsed = time.perf_counter() - start
+    payload = {
+        "family": args.family,
+        "n": args.n,
+        "count": args.count,
+        "seeds": seeds,
+        "config": config.as_dict(),
+        "elapsed_seconds": round(elapsed, 6),
+        "graphs_per_second": round(args.count / elapsed, 2) if elapsed else None,
+        "results": [
+            {
+                "seed": seed,
+                "value": result.value,
+                "partition_sizes": [len(side) for side in result.partition],
+                "cut_edges": sorted(map(str, result.cut_edges)),
+                "witness": list(map(str, result.respecting_edges)),
+                "best_tree_index": result.best_tree_index,
+                "ma_rounds": result.ma_rounds,
+            }
+            for seed, result in zip(seeds, results)
+        ],
+    }
+    text = json.dumps(payload, indent=2)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(text + "\n")
+        print(f"swept {args.count} x {args.family}(n={args.n}) "
+              f"in {elapsed:.3f}s -> {args.json}")
+    else:
+        print(text)
     return 0
 
 
@@ -174,7 +241,9 @@ def cmd_info(_args) -> int:
     print(f"repro {repro.__version__} -- Universally-Optimal Distributed "
           "Exact Min-Cut (Ghaffari & Zuzic, PODC 2022)")
     print("families :", ", ".join(sorted(FAMILIES)))
-    print("solvers  : minor-aggregation (full round accounting), oracle")
+    print("solvers  :")
+    for name, description in solver_descriptions().items():
+        print(f"  {name:<20} {description}")
     print("backends : csr (flat-array fast path, default), networkx")
     print("see also : python -m repro.experiments  (paper-vs-measured report)")
     return 0
@@ -186,10 +255,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_graph_args(p):
-        p.add_argument(
-            "--edges", help="edge-list file ('u v [weight]' per line) or .npz CSR dump"
-        )
+    def add_graph_args(p, with_edges=True):
+        if with_edges:
+            p.add_argument(
+                "--edges",
+                help="edge-list file ('u v [weight]' per line) or .npz CSR dump",
+            )
         p.add_argument("--family", default="gnm", help="built-in family")
         p.add_argument("--n", type=int, default=40, help="graph size")
         p.add_argument("--seed", type=int, default=0)
@@ -198,15 +269,35 @@ def build_parser() -> argparse.ArgumentParser:
             help="graph representation (csr = flat-array fast path)",
         )
 
+    def add_solver_args(p):
+        p.add_argument(
+            "--solver", default="minor-aggregation",
+            choices=list(registered_solvers()),
+        )
+        p.add_argument("--trees", type=int, default=None)
+        p.add_argument(
+            "--no-congest", action="store_true",
+            help="skip the Theorem 17 CONGEST estimates",
+        )
+
     p_mincut = sub.add_parser("mincut", help="compute the exact min-cut")
     add_graph_args(p_mincut)
-    p_mincut.add_argument(
-        "--solver", default="minor-aggregation",
-        choices=["minor-aggregation", "oracle"],
-    )
-    p_mincut.add_argument("--trees", type=int, default=None)
+    add_solver_args(p_mincut)
     p_mincut.add_argument("--verbose", action="store_true")
     p_mincut.set_defaults(func=cmd_mincut)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="min-cut a whole family sweep via the batched entrypoint",
+    )
+    add_graph_args(p_sweep, with_edges=False)
+    add_solver_args(p_sweep)
+    p_sweep.add_argument(
+        "--count", type=int, default=50,
+        help="number of instances (seeds seed .. seed+count-1)",
+    )
+    p_sweep.add_argument("--json", help="write the JSON report here")
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_gen = sub.add_parser("generate", help="emit a generated edge list")
     add_graph_args(p_gen)

@@ -23,8 +23,22 @@ from repro.core.cut_values import (
 )
 from repro.core.one_respecting import one_respecting_cuts, one_respecting_min_cut
 from repro.core.general import two_respecting_min_cut
-from repro.core.tree_packing import pack_trees
+from repro.core.tree_packing import pack_trees, pack_trees_many
 from repro.core.mincut import MinCutResult, minimum_cut
+from repro.core.registry import (
+    SolverEntry,
+    get_solver,
+    register_solver,
+    registered_solvers,
+    solver_descriptions,
+    unregister_solver,
+)
+from repro.core.session import (
+    GraphPacking,
+    MinCutSolver,
+    SolverConfig,
+    minimum_cut_many,
+)
 
 __all__ = [
     "CutCandidate",
@@ -37,6 +51,17 @@ __all__ = [
     "one_respecting_min_cut",
     "two_respecting_min_cut",
     "pack_trees",
+    "pack_trees_many",
     "MinCutResult",
     "minimum_cut",
+    "minimum_cut_many",
+    "MinCutSolver",
+    "SolverConfig",
+    "GraphPacking",
+    "SolverEntry",
+    "register_solver",
+    "registered_solvers",
+    "unregister_solver",
+    "get_solver",
+    "solver_descriptions",
 ]

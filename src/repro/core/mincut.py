@@ -10,6 +10,18 @@ The returned value is *recomputed from the extracted partition* and checked
 against the solver's candidate -- an internal consistency proof that the
 reported cut really is a cut of the claimed weight.
 
+The pipeline itself lives in the session API
+(:mod:`repro.core.session`): a :class:`~repro.core.session.MinCutSolver`
+bound to a :class:`~repro.core.session.SolverConfig` stages packing and
+solving explicitly, dispatches through the solver registry
+(:mod:`repro.core.registry` -- ``minor-aggregation``, ``oracle``,
+``stoer-wagner``, ``karger``, plus anything registered at run time), and
+batches whole sweeps via
+:func:`~repro.core.session.minimum_cut_many`.  :func:`minimum_cut` here
+is the historical one-shot spelling, kept as a thin wrapper over a
+default session -- bit-identical results (value, witness, partition, and
+round ledger) to the pre-session implementation.
+
 Two input types share the function:
 
 * a **networkx** graph runs the historical reference pipeline (kernel
@@ -20,10 +32,6 @@ Two input types share the function:
   numpy pass -- with **no networkx object constructed anywhere**.  Both
   paths make identical decisions, so for the same underlying graph they
   return bit-identical values, witnesses, and partitions.
-
-With the kernel enabled the networkx path also batches its independent
-per-tree oracle solves over stacked kernels (the same code path), which is
-where the Θ(log n)-way parallelism of the packing finally pays off.
 """
 
 from __future__ import annotations
@@ -34,20 +42,11 @@ from typing import Hashable
 import networkx as nx
 
 from repro.accounting import RoundAccountant
-from repro.core.cut_values import (
-    CutCandidate,
-    cut_partition,
-    partition_cut_weight,
-    two_respecting_oracle,
-)
-from repro.core.general import GeneralSolveStats, two_respecting_min_cut
-from repro.core.tree_packing import TreePacking, pack_trees
+from repro.core.cut_values import CutCandidate, partition_cut_weight
+from repro.core.tree_packing import TreePacking
 from repro.graphs.csr import CSRGraph
-from repro.kernel.batched import batched_two_respecting_oracle
-from repro.kernel.config import kernel_enabled
-from repro.kernel.cut_kernel import GraphArrays, partition_cut_weight_arrays
-from repro.ma.simulation import CongestEstimates, congest_estimates
-from repro.trees.rooted import Edge, RootedTree, edge_key
+from repro.ma.simulation import CongestEstimates
+from repro.trees.rooted import Edge, edge_key
 
 Node = Hashable
 
@@ -140,174 +139,25 @@ def minimum_cut(
 ) -> MinCutResult:
     """Exact weighted min-cut of a connected graph (Theorem 1).
 
-    Parameters
-    ----------
-    graph:
-        A connected weighted graph -- networkx, or a
-        :class:`~repro.graphs.csr.CSRGraph` for the array-native fast path.
-    solver:
-        ``"minor-aggregation"`` runs the paper's 2-respecting solver per
-        packed tree with full round accounting; ``"oracle"`` substitutes the
-        centralized 2-respecting brute force per tree (same answers, no
-        round charges beyond the packing -- handy for large sweeps), solved
-        for all packed trees at once over stacked kernel arrays.
+    A thin wrapper over a default :class:`~repro.core.session.MinCutSolver`
+    session, kept for the historical call signature.  ``solver`` accepts
+    any registered name -- ``"minor-aggregation"`` runs the paper's
+    2-respecting solver per packed tree with full round accounting,
+    ``"oracle"`` substitutes the centralized 2-respecting brute force
+    batched over stacked kernels, ``"stoer-wagner"`` / ``"karger"`` run
+    the centralized baselines -- plus anything added via
+    :func:`~repro.core.registry.register_solver`.
+
+    Migration: prefer ``MinCutSolver(SolverConfig(...)).solve(graph)``;
+    the session form makes packing reuse (``solver.pack(graph)``) and
+    many-graph sweeps (:func:`~repro.core.session.minimum_cut_many`)
+    explicit.
     """
-    csr = graph if isinstance(graph, CSRGraph) else None
-    if csr is not None:
-        if csr.n < 2:
-            raise ValueError("minimum cut needs at least two nodes")
-        if not csr.is_connected():
-            raise ValueError("graph must be connected")
-        if csr.n == 2:
-            return _two_node_cut_csr(csr)
-    else:
-        if graph.number_of_nodes() < 2:
-            raise ValueError("minimum cut needs at least two nodes")
-        if not nx.is_connected(graph):
-            raise ValueError("graph must be connected")
-        if graph.number_of_nodes() == 2:
-            return _two_node_cut(graph)
-    if solver not in ("minor-aggregation", "oracle"):
-        raise ValueError(f"unknown solver {solver!r}")
+    from repro.core.session import MinCutSolver, SolverConfig
 
-    if csr is not None and csr.nodes is not None and solver == "minor-aggregation":
-        # The Minor-Aggregation solver simulates the paper's recursion on
-        # a networkx topology whose internal tie-breaks run in node-label
-        # space.  For *labelled* CSR graphs, delegate the whole run
-        # through the boundary conversion (the identical weighted graph,
-        # canonical edge order) so results -- round accounting included --
-        # match the networkx path exactly.  Identity-labelled graphs (the
-        # common fast case) keep the CSR-native packing below.
-        return minimum_cut(
-            csr.to_networkx(),
-            seed=seed,
-            solver=solver,
-            num_trees=num_trees,
-            accountant=accountant,
-            compute_congest=compute_congest,
-        )
-
-    acct = accountant or RoundAccountant()
-    packing = pack_trees(
-        graph, seed=seed, num_trees=num_trees, accountant=acct
-    )
-
-    # One edge-list extraction shared by every packed tree (the kernel
-    # re-maps node positions per tree in O(n) instead of rescanning the
-    # graph's m edges per tree).  For CSR input the extraction is a pure
-    # array view and the pipeline below runs in dense-index space.  The
-    # extraction doubles as up-front weight validation (NaN/negative
-    # weights fail here with a clear error, on the legacy path too); the
-    # legacy reference implementations simply ignore the arrays.
-    use_kernel = csr is not None or kernel_enabled()
-    if csr is not None:
-        arrays = GraphArrays.from_csr(csr)
-    else:
-        arrays = GraphArrays.from_graph(graph)
-
-    # Root selection happens in label space (the networkx path picks the
-    # stable-minimum node object); labelled CSR graphs pick the index
-    # whose label is that same minimum.
-    if csr is not None and csr.nodes is not None:
-        labels = csr.nodes
-        fixed_root = min(
-            range(csr.n),
-            key=lambda i: (type(labels[i]).__name__, str(labels[i])),
-        )
-    else:
-        fixed_root = None
-    rooted_trees: list[RootedTree] = []
-    for tree in packing.trees:
-        if fixed_root is None:
-            root = min(
-                _tree_nodes(tree), key=lambda v: (type(v).__name__, str(v))
-            )
-        else:
-            root = fixed_root
-        rooted_trees.append(RootedTree(tree, root))
-
-    solve_stats: GeneralSolveStats | None = None
-    if solver == "oracle" and use_kernel:
-        # All Θ(log n) per-tree solves batched over stacked kernel arrays.
-        candidates = batched_two_respecting_oracle(arrays, rooted_trees)
-    elif solver == "oracle":
-        candidates = [
-            two_respecting_oracle(graph, rooted, arrays=arrays)
-            for rooted in rooted_trees
-        ]
-    else:
-        # The Minor-Aggregation solver simulates the paper's distributed
-        # recursion, which lives on a networkx topology; identity-labelled
-        # CSR inputs cross that boundary once, in index space (labelled
-        # CSR graphs were delegated wholesale above).
-        base_graph = csr.to_networkx() if csr is not None else graph
-        candidates = []
-        for rooted in rooted_trees:
-            result = two_respecting_min_cut(
-                base_graph, rooted, accountant=acct, arrays=arrays
-            )
-            candidates.append(result.best)
-            solve_stats = result.stats
-
-    best: CutCandidate | None = None
-    best_index = -1
-    for index, candidate in enumerate(candidates):
-        if candidate.better_than(best):
-            best = candidate
-            best_index = index
-
-    assert best is not None
-    best_rooted = rooted_trees[best_index]
-    side = cut_partition(best_rooted, best.edges)
-    if csr is not None:
-        value, crossing = partition_cut_weight_arrays(arrays, side)
-    else:
-        value, crossing = partition_cut_weight(graph, side, arrays=arrays)
-    # Relative tolerance: candidate values come from prefix-sum/matrix
-    # accumulation whose float error scales with total graph weight, while
-    # the partition weight sums only the crossing edges.
-    if abs(value - best.value) > 1e-6 * max(1.0, abs(value)):
-        raise AssertionError(
-            f"cut witness inconsistent: candidate {best.value}, partition {value}"
-        )
-    if csr is not None:
-        universe = range(csr.n)
-    else:
-        universe = graph.nodes()
-    other = frozenset(set(universe) - side)
-
-    congest = None
-    if compute_congest:
-        if csr is not None:
-            congest = congest_estimates(acct.total, n=csr.n, diameter=csr.diameter())
-        else:
-            congest = congest_estimates(acct.total, graph=graph)
-
-    stats: dict = {"accountant": acct.snapshot(), "trees": len(packing.trees)}
-    if solve_stats is not None:
-        stats["general_solver"] = {
-            "instances": solve_stats.instances,
-            "max_depth": solve_stats.max_depth,
-            "max_virtual_nodes": solve_stats.max_virtual_nodes,
-        }
-
-    if csr is not None and csr.nodes is not None:
-        # Map the index-space witness back onto the graph's labels.
-        labels = csr.nodes
-        side = frozenset(labels[i] for i in side)
-        other = frozenset(labels[i] for i in other)
-        crossing = [edge_key(labels[u], labels[v]) for u, v in crossing]
-        best = _relabel(best, labels)
-
-    return MinCutResult(
-        value=value,
-        partition=(side, other),
-        cut_edges=crossing,
-        candidate=best,
-        best_tree_index=best_index,
-        packing=packing,
-        ma_rounds=acct.total,
-        congest=congest,
+    config = SolverConfig(
         solver=solver,
-        stats=stats,
+        num_trees=num_trees,
+        compute_congest=compute_congest,
     )
+    return MinCutSolver(config).solve(graph, seed=seed, accountant=accountant)

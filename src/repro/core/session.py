@@ -1,0 +1,882 @@
+"""The session API: ``SolverConfig``, ``MinCutSolver``, ``minimum_cut_many``.
+
+The pipeline of Theorem 1 is naturally staged -- tree packing (Theorem
+12), per-tree 2-respecting solves (Theorems 18/40), witness extraction and
+round accounting -- and the historical ``minimum_cut()`` call re-derived
+every stage per invocation with its two solvers hard-coded behind string
+compares.  This module is the redesigned public surface:
+
+* :class:`SolverConfig` -- one frozen value object for every knob that
+  used to be scattered across keyword arguments and ``REPRO_*``
+  environment variables (solver name, graph backend, tree count, kernel
+  on/off, batched-solve scratch budget, CONGEST estimates on/off).
+* :class:`MinCutSolver` -- a reusable session bound to a config.
+  ``solve(graph)`` runs the full pipeline; ``pack(graph)`` returns a
+  :class:`GraphPacking` handle whose Theorem 12 packing can be solved
+  under *multiple* solver names (or re-solved into fresh accountants)
+  without repacking.
+* the **solver registry** (:mod:`repro.core.registry`) -- the paper's
+  ``minor-aggregation`` recursion, the centralized ``oracle``, and the
+  first-class ``stoer-wagner`` / ``karger`` baselines all register here
+  and return one uniform :class:`~repro.core.mincut.MinCutResult`;
+  :func:`~repro.core.registry.register_solver` adds external entries
+  that the CLI's ``--solver`` flag picks up automatically.
+* :func:`minimum_cut_many` -- the batched many-graph entrypoint.  For
+  CSR sweeps under the ``oracle`` solver it amortizes the whole
+  pipeline across graphs: one concatenated-table tree packing
+  (:func:`~repro.core.tree_packing.pack_trees_many`), one stacked
+  BFS/Euler kernel build (:mod:`repro.kernel.forest`), and one chunked
+  stacked-tensor oracle pass (:mod:`repro.kernel.batched`) -- with
+  results bit-identical to looping ``minimum_cut`` (asserted by the
+  test suite).
+
+``minimum_cut()`` survives as a thin wrapper over a default session and
+stays bit-identical -- value, witness, partition, *and* round ledger --
+to its historical behaviour.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.accounting import RoundAccountant
+from repro.core.cut_values import (
+    CutCandidate,
+    cut_partition,
+    partition_cut_weight,
+    two_respecting_oracle,
+)
+from repro.core.mincut import (
+    MinCutResult,
+    _empty_packing,
+    _relabel,
+    _tree_nodes,
+    _two_node_cut,
+    _two_node_cut_csr,
+)
+from repro.core.registry import SolverEntry, get_solver, register_solver
+from repro.core.tree_packing import pack_trees, pack_trees_many
+from repro.graphs.csr import CSRGraph
+from repro.kernel.batched import (
+    OracleJob,
+    batched_two_respecting_oracle,
+    batched_two_respecting_oracle_many,
+    candidate_from_flat,
+)
+from repro.kernel.config import (
+    kernel_enabled,
+    parse_kernel_flag,
+    use_kernel,
+    use_legacy,
+)
+from repro.kernel.cut_kernel import GraphArrays, partition_cut_weight_arrays
+from repro.kernel.forest import stacked_tree_arrays
+from repro.ma.simulation import congest_estimates
+from repro.trees.rooted import RootedTree, edge_key
+
+__all__ = [
+    "SolverConfig",
+    "MinCutSolver",
+    "GraphPacking",
+    "minimum_cut_many",
+]
+
+_BACKENDS = ("csr", "networkx")
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Frozen bundle of every pipeline knob.
+
+    Parameters
+    ----------
+    solver:
+        Registry name of the solver ``solve()`` dispatches to; see
+        :func:`~repro.core.registry.registered_solvers`.
+    backend:
+        Graph representation the CLI / builders construct: ``"csr"``
+        (flat-array fast path) or ``"networkx"`` (legacy reference).
+        Both produce bit-identical results; the solve path itself
+        accepts either graph type regardless of this setting.
+    num_trees:
+        Override for the Theorem 12 packing size (default Θ(log n)).
+    tree_kernel:
+        Tri-state kernel switch: ``None`` inherits the ambient
+        ``REPRO_TREE_KERNEL`` setting, ``True``/``False`` pin the
+        array-kernel / legacy paths for this session's solves.
+    batch_bytes:
+        Scratch budget for the stacked-tensor batched oracle;
+        ``None`` inherits ``REPRO_BATCH_BYTES`` (default 256 MiB).
+    compute_congest:
+        Whether results carry the Theorem 17 CONGEST estimates.  Only
+        meaningful for solvers that execute Minor-Aggregation rounds;
+        centralized baselines (``stoer-wagner``, ``karger``) always
+        report ``congest=None``.
+    """
+
+    solver: str = "minor-aggregation"
+    backend: str = "csr"
+    num_trees: int | None = None
+    tree_kernel: bool | None = None
+    batch_bytes: int | None = None
+    compute_congest: bool = True
+
+    def __post_init__(self):
+        if self.backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose from {_BACKENDS}"
+            )
+        if self.num_trees is not None and self.num_trees < 1:
+            raise ValueError("num_trees must be positive")
+        if self.batch_bytes is not None and self.batch_bytes < 1:
+            raise ValueError("batch_bytes must be positive")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_env(
+        cls, env: "Mapping[str, str] | None" = None, **overrides
+    ) -> "SolverConfig":
+        """Capture the ``REPRO_*`` environment knobs into an explicit config.
+
+        ``REPRO_TREE_KERNEL`` and ``REPRO_BATCH_BYTES`` become
+        ``tree_kernel`` / ``batch_bytes`` (absent or unparsable values
+        stay ``None`` = inherit at run time); keyword overrides win.
+        """
+        env = os.environ if env is None else env
+        fields: dict = {}
+        raw = env.get("REPRO_TREE_KERNEL")
+        if raw is not None:
+            fields["tree_kernel"] = parse_kernel_flag(raw)
+        raw = env.get("REPRO_BATCH_BYTES")
+        if raw is not None:
+            try:
+                fields["batch_bytes"] = int(raw)
+            except ValueError:
+                pass
+        fields.update(overrides)
+        return cls(**fields)
+
+    @classmethod
+    def from_args(cls, args) -> "SolverConfig":
+        """Build a config from CLI-style arguments (argparse namespace).
+
+        Starts from :meth:`from_env` so environment knobs flow through
+        CLI runs, then applies ``--solver`` / ``--backend`` / ``--trees``
+        (and ``--no-congest`` where the subcommand defines it).
+        """
+        overrides: dict = {}
+        for field, attr in (
+            ("solver", "solver"),
+            ("backend", "backend"),
+            ("num_trees", "trees"),
+        ):
+            value = getattr(args, attr, None)
+            if value is not None:
+                overrides[field] = value
+        if getattr(args, "no_congest", False):
+            overrides["compute_congest"] = False
+        return cls.from_env(**overrides)
+
+    def replace(self, **changes) -> "SolverConfig":
+        """A copy with the given fields changed (configs are frozen)."""
+        return dataclasses.replace(self, **changes)
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (JSON-friendly; the CLI ``sweep`` emits it)."""
+        return dataclasses.asdict(self)
+
+    def _kernel_scope(self):
+        if self.tree_kernel is None:
+            return nullcontext()
+        return use_kernel() if self.tree_kernel else use_legacy()
+
+
+class GraphPacking:
+    """A graph validated and (lazily) packed under one session config.
+
+    The handle owns everything ``minimum_cut`` used to recompute per
+    call: the Theorem 12 tree packing, the shared
+    :class:`~repro.kernel.cut_kernel.GraphArrays` extraction, and the
+    rooted per-tree views.  ``solve()`` may be called repeatedly -- with
+    different solver names, or fresh accountants -- without repacking;
+    the packing's round charges are recorded once and replayed onto
+    every later accountant, so each solve reports the same ledger a
+    fresh end-to-end run would.
+
+    Solvers that don't consume a packing (the centralized baselines)
+    never trigger it -- ``pack`` is lazy.
+    """
+
+    def __init__(
+        self,
+        config: SolverConfig,
+        graph,
+        csr: CSRGraph | None,
+        seed: int,
+        num_trees: int | None,
+        accountant: RoundAccountant | None,
+        trivial: MinCutResult | None = None,
+    ):
+        self.config = config
+        self.graph = graph
+        self.csr = csr
+        self.seed = seed
+        self.num_trees = num_trees
+        self._origin_acct = accountant
+        self._origin_used = False
+        self._trivial = trivial
+        self._packing = None
+        self._packing_charges: dict[str, float] | None = None
+        self._arrays: GraphArrays | None = None
+        self._rooted: list[RootedTree] | None = None
+
+    # ------------------------------------------------------------------
+    # Lazily computed pipeline state
+    # ------------------------------------------------------------------
+    @property
+    def packing(self):
+        """The Theorem 12 tree packing (computed on first access)."""
+        if self._packing is None:
+            if self._trivial is not None:
+                raise ValueError("two-node graphs have no tree packing")
+            acct = self._origin_acct or RoundAccountant()
+            self._origin_acct = acct
+            before = acct.by_label()
+            with self.config._kernel_scope():
+                self._packing = pack_trees(
+                    self.graph,
+                    seed=self.seed,
+                    num_trees=self.num_trees,
+                    accountant=acct,
+                )
+            after = acct.by_label()
+            self._packing_charges = {
+                label: after[label] - before.get(label, 0.0)
+                for label in after
+                if after[label] != before.get(label, 0.0)
+            }
+        return self._packing
+
+    @property
+    def arrays(self) -> GraphArrays:
+        """Shared edge arrays (extracted once, after the packing -- the
+        same stage order, and hence the same error order, as the
+        historical pipeline)."""
+        if self._arrays is None:
+            self.packing  # noqa: B018 -- packing errors surface first
+            if self.csr is not None:
+                self._arrays = GraphArrays.from_csr(self.csr)
+            else:
+                self._arrays = GraphArrays.from_graph(self.graph)
+        return self._arrays
+
+    @property
+    def root(self):
+        """The per-tree root: label-space minimum for labelled CSR
+        graphs, the stable-minimum node otherwise (``None`` defers to
+        each tree's own minimum, which for index trees is node 0)."""
+        if self.csr is not None and self.csr.nodes is not None:
+            labels = self.csr.nodes
+            return min(
+                range(self.csr.n),
+                key=lambda i: (type(labels[i]).__name__, str(labels[i])),
+            )
+        return None
+
+    @property
+    def rooted_trees(self) -> list[RootedTree]:
+        """Every packed tree rooted at the session root."""
+        if self._rooted is None:
+            fixed_root = self.root
+            rooted: list[RootedTree] = []
+            for tree in self.packing.trees:
+                if fixed_root is None:
+                    root = min(
+                        _tree_nodes(tree),
+                        key=lambda v: (type(v).__name__, str(v)),
+                    )
+                else:
+                    root = fixed_root
+                rooted.append(RootedTree(tree, root))
+            self._rooted = rooted
+        return self._rooted
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        solver: str | None = None,
+        accountant: RoundAccountant | None = None,
+        compute_congest: bool | None = None,
+    ) -> MinCutResult:
+        """Run a registered solver over this packing.
+
+        ``solver`` defaults to the session config's; repeated calls
+        reuse the packing (and its recorded round charges) instead of
+        repacking.
+        """
+        if self._trivial is not None:
+            return self._trivial
+        name = solver if solver is not None else self.config.solver
+        entry = get_solver(name)
+        if entry.label_space and self.csr is not None and self.csr.nodes is not None:
+            # Label-space solvers (the Minor-Aggregation recursion) break
+            # ties in node-label space; labelled CSR graphs cross the
+            # networkx boundary wholesale so both backends stay
+            # bit-identical.  Identity-labelled CSR keeps the fast path.
+            config = self.config.replace(solver=name)
+            if compute_congest is not None:
+                config = config.replace(compute_congest=compute_congest)
+            return MinCutSolver(config).solve(
+                self.csr.to_networkx(),
+                seed=self.seed,
+                num_trees=self.num_trees,
+                accountant=accountant,
+            )
+        ctx = SolveContext(
+            accountant=self._solve_accountant(accountant, entry),
+            compute_congest=(
+                self.config.compute_congest
+                if compute_congest is None
+                else compute_congest
+            ),
+            solver=name,
+        )
+        with self.config._kernel_scope():
+            return entry.fn(self, ctx)
+
+    def _solve_accountant(
+        self, accountant: RoundAccountant | None, entry: SolverEntry
+    ) -> RoundAccountant:
+        if not entry.uses_packing:
+            return accountant or RoundAccountant()
+        self.packing  # noqa: B018 -- ensure charges are recorded
+        use_origin = (
+            accountant is None and not self._origin_used
+        ) or accountant is self._origin_acct
+        if use_origin:
+            self._origin_used = True
+            return self._origin_acct
+        acct = accountant or RoundAccountant()
+        acct.absorb(self._packing_charges or {})
+        return acct
+
+    # ------------------------------------------------------------------
+    # Result assembly (shared by every packing-based solver)
+    # ------------------------------------------------------------------
+    def finalize(
+        self,
+        candidates: Sequence[CutCandidate],
+        ctx: "SolveContext",
+        solve_stats=None,
+    ) -> MinCutResult:
+        """Select the best per-tree candidate and materialise the witness."""
+        return _finalize_candidates(
+            graph=self.graph,
+            csr=self.csr,
+            arrays=self.arrays,
+            packing=self.packing,
+            rooted_for=lambda index: self.rooted_trees[index],
+            candidates=candidates,
+            acct=ctx.accountant,
+            compute_congest=ctx.compute_congest,
+            solver_name=ctx.solver,
+            solve_stats=solve_stats,
+        )
+
+    def finalize_partition(
+        self, side: frozenset, ctx: "SolveContext", in_label_space: bool = False
+    ) -> MinCutResult:
+        """Wrap a node bipartition (a packing-free solver's output).
+
+        ``side`` is one side of the cut -- in CSR index space unless
+        ``in_label_space`` says the solver worked on labelled nodes.
+        The value and crossing edges are recomputed from the partition,
+        so the reported cut is consistent by construction.
+
+        ``congest`` is always ``None`` here, regardless of
+        ``compute_congest``: the Theorem 17 estimates compile a
+        Minor-Aggregation round count down to CONGEST, and a centralized
+        baseline executes no Minor-Aggregation rounds to compile.
+        """
+        if self.csr is not None:
+            if in_label_space and self.csr.nodes is not None:
+                index_of = {
+                    label: i for i, label in enumerate(self.csr.nodes)
+                }
+                side = frozenset(index_of[label] for label in side)
+            arrays = self._arrays or GraphArrays.from_csr(self.csr)
+            self._arrays = arrays
+            value, crossing = partition_cut_weight_arrays(arrays, side)
+            universe: Iterable = range(self.csr.n)
+        else:
+            arrays = self._arrays or GraphArrays.from_graph(self.graph)
+            self._arrays = arrays
+            value, crossing = partition_cut_weight(
+                self.graph, side, arrays=arrays
+            )
+            universe = self.graph.nodes()
+        other = frozenset(set(universe) - side)
+        candidate = CutCandidate(value=value, edges=())
+        if self.csr is not None and self.csr.nodes is not None:
+            labels = self.csr.nodes
+            side = frozenset(labels[i] for i in side)
+            other = frozenset(labels[i] for i in other)
+            crossing = [edge_key(labels[u], labels[v]) for u, v in crossing]
+        return MinCutResult(
+            value=value,
+            partition=(side, other),
+            cut_edges=crossing,
+            candidate=candidate,
+            best_tree_index=-1,
+            packing=_empty_packing(value),
+            ma_rounds=ctx.accountant.total,
+            congest=None,
+            solver=ctx.solver,
+            stats={"accountant": ctx.accountant.snapshot(), "trees": 0},
+        )
+
+
+@dataclass
+class SolveContext:
+    """Per-solve state handed to registry solver functions."""
+
+    accountant: RoundAccountant
+    compute_congest: bool
+    solver: str
+
+
+class MinCutSolver:
+    """A reusable min-cut session bound to a :class:`SolverConfig`.
+
+    >>> solver = MinCutSolver(SolverConfig(solver="oracle"))
+    >>> result = solver.solve(graph, seed=3)          # full pipeline
+    >>> packed = solver.pack(graph, seed=3)           # staged
+    >>> a = packed.solve()                            # config's solver
+    >>> b = packed.solve("minor-aggregation")         # same packing
+    """
+
+    def __init__(self, config: SolverConfig | None = None, **overrides):
+        base = config if config is not None else SolverConfig()
+        if overrides:
+            base = base.replace(**overrides)
+        self.config = base
+
+    def pack(
+        self,
+        graph: "object | CSRGraph",
+        seed: int = 0,
+        num_trees: int | None = None,
+        accountant: RoundAccountant | None = None,
+    ) -> GraphPacking:
+        """Validate ``graph`` and return the (lazily packed) session handle."""
+        csr, trivial = _validate_graph(graph)
+        return GraphPacking(
+            config=self.config,
+            graph=graph,
+            csr=csr,
+            seed=seed,
+            num_trees=num_trees if num_trees is not None else self.config.num_trees,
+            accountant=accountant,
+            trivial=trivial,
+        )
+
+    def solve(
+        self,
+        graph: "object | CSRGraph",
+        seed: int = 0,
+        solver: str | None = None,
+        num_trees: int | None = None,
+        accountant: RoundAccountant | None = None,
+        compute_congest: bool | None = None,
+    ) -> MinCutResult:
+        """Pack and solve in one call (what ``minimum_cut`` wraps)."""
+        packed = self.pack(
+            graph, seed=seed, num_trees=num_trees, accountant=accountant
+        )
+        return packed.solve(
+            solver=solver,
+            accountant=accountant,
+            compute_congest=compute_congest,
+        )
+
+    def solve_many(
+        self,
+        graphs: Sequence,
+        seeds: "int | Sequence[int]" = 0,
+    ) -> list[MinCutResult]:
+        """Batched sweep over ``graphs`` -- see :func:`minimum_cut_many`."""
+        return minimum_cut_many(graphs, config=self.config, seeds=seeds)
+
+
+def _validate_graph(graph) -> tuple[CSRGraph | None, MinCutResult | None]:
+    """Shared input validation; returns (csr_or_None, trivial_result)."""
+    import networkx as nx
+
+    csr = graph if isinstance(graph, CSRGraph) else None
+    if csr is not None:
+        if csr.n < 2:
+            raise ValueError("minimum cut needs at least two nodes")
+        if not csr.is_connected():
+            raise ValueError("graph must be connected")
+        if csr.n == 2:
+            return csr, _two_node_cut_csr(csr)
+        return csr, None
+    if graph.number_of_nodes() < 2:
+        raise ValueError("minimum cut needs at least two nodes")
+    if not nx.is_connected(graph):
+        raise ValueError("graph must be connected")
+    if graph.number_of_nodes() == 2:
+        return None, _two_node_cut(graph)
+    return None, None
+
+
+def _finalize_candidates(
+    graph,
+    csr: CSRGraph | None,
+    arrays: GraphArrays,
+    packing,
+    rooted_for,
+    candidates: Sequence[CutCandidate],
+    acct: RoundAccountant,
+    compute_congest: bool,
+    solver_name: str,
+    solve_stats=None,
+) -> MinCutResult:
+    best: CutCandidate | None = None
+    best_index = -1
+    for index, candidate in enumerate(candidates):
+        if candidate.better_than(best):
+            best = candidate
+            best_index = index
+    assert best is not None
+    best_rooted = rooted_for(best_index)
+    side = cut_partition(best_rooted, best.edges)
+    if csr is not None:
+        value, crossing = partition_cut_weight_arrays(arrays, side)
+    else:
+        value, crossing = partition_cut_weight(graph, side, arrays=arrays)
+    # Relative tolerance: candidate values come from prefix-sum/matrix
+    # accumulation whose float error scales with total graph weight, while
+    # the partition weight sums only the crossing edges.
+    if abs(value - best.value) > 1e-6 * max(1.0, abs(value)):
+        raise AssertionError(
+            f"cut witness inconsistent: candidate {best.value}, partition {value}"
+        )
+    if csr is not None:
+        universe: Iterable = range(csr.n)
+    else:
+        universe = graph.nodes()
+    other = frozenset(set(universe) - side)
+
+    congest = None
+    if compute_congest:
+        if csr is not None:
+            congest = congest_estimates(acct.total, n=csr.n, diameter=csr.diameter())
+        else:
+            congest = congest_estimates(acct.total, graph=graph)
+
+    stats: dict = {"accountant": acct.snapshot(), "trees": len(packing.trees)}
+    if solve_stats is not None:
+        stats["general_solver"] = {
+            "instances": solve_stats.instances,
+            "max_depth": solve_stats.max_depth,
+            "max_virtual_nodes": solve_stats.max_virtual_nodes,
+        }
+
+    if csr is not None and csr.nodes is not None:
+        # Map the index-space witness back onto the graph's labels.
+        labels = csr.nodes
+        side = frozenset(labels[i] for i in side)
+        other = frozenset(labels[i] for i in other)
+        crossing = [edge_key(labels[u], labels[v]) for u, v in crossing]
+        best = _relabel(best, labels)
+
+    return MinCutResult(
+        value=value,
+        partition=(side, other),
+        cut_edges=crossing,
+        candidate=best,
+        best_tree_index=best_index,
+        packing=packing,
+        ma_rounds=acct.total,
+        congest=congest,
+        solver=solver_name,
+        stats=stats,
+    )
+
+
+# ----------------------------------------------------------------------
+# Registered solvers
+# ----------------------------------------------------------------------
+@register_solver(
+    "minor-aggregation",
+    label_space=True,
+    description="the paper's 2-respecting recursion with full round accounting",
+)
+def _solve_minor_aggregation(packed: GraphPacking, ctx: SolveContext) -> MinCutResult:
+    from repro.core.general import two_respecting_min_cut
+
+    # The Minor-Aggregation solver simulates the paper's distributed
+    # recursion, which lives on a networkx topology; identity-labelled
+    # CSR inputs cross that boundary once, in index space (labelled CSR
+    # graphs were delegated wholesale by GraphPacking.solve).
+    base_graph = (
+        packed.csr.to_networkx() if packed.csr is not None else packed.graph
+    )
+    arrays = packed.arrays
+    acct = ctx.accountant
+    candidates: list[CutCandidate] = []
+    solve_stats = None
+    for rooted in packed.rooted_trees:
+        result = two_respecting_min_cut(
+            base_graph, rooted, accountant=acct, arrays=arrays
+        )
+        candidates.append(result.best)
+        solve_stats = result.stats
+    return packed.finalize(candidates, ctx, solve_stats=solve_stats)
+
+
+@register_solver(
+    "oracle",
+    description="centralized 2-respecting brute force, batched over stacked kernels",
+)
+def _solve_oracle(packed: GraphPacking, ctx: SolveContext) -> MinCutResult:
+    use_kernel_path = packed.csr is not None or kernel_enabled()
+    if use_kernel_path:
+        # All Θ(log n) per-tree solves batched over stacked kernel arrays.
+        candidates = batched_two_respecting_oracle(
+            packed.arrays,
+            packed.rooted_trees,
+            batch_bytes=packed.config.batch_bytes,
+        )
+    else:
+        candidates = [
+            two_respecting_oracle(packed.graph, rooted, arrays=packed.arrays)
+            for rooted in packed.rooted_trees
+        ]
+    return packed.finalize(candidates, ctx)
+
+
+@register_solver(
+    "stoer-wagner",
+    uses_packing=False,
+    description="exact centralized baseline (maximum adjacency ordering)",
+)
+def _solve_stoer_wagner(packed: GraphPacking, ctx: SolveContext) -> MinCutResult:
+    from repro.baselines.stoer_wagner import stoer_wagner_min_cut
+
+    _value, (side, _other) = stoer_wagner_min_cut(
+        packed.csr if packed.csr is not None else packed.graph
+    )
+    # The CSR variant works in index space even on labelled graphs.
+    return packed.finalize_partition(side, ctx, in_label_space=False)
+
+
+@register_solver(
+    "karger",
+    uses_packing=False,
+    description="randomized contraction baseline (Monte Carlo, w.h.p. exact)",
+)
+def _solve_karger(packed: GraphPacking, ctx: SolveContext) -> MinCutResult:
+    from repro.baselines.karger import karger_min_cut
+
+    graph = packed.csr.to_networkx() if packed.csr is not None else packed.graph
+    _value, (side, _other) = karger_min_cut(graph, seed=packed.seed)
+    return packed.finalize_partition(
+        side, ctx, in_label_space=packed.csr is not None
+    )
+
+
+# ----------------------------------------------------------------------
+# The batched many-graph entrypoint
+# ----------------------------------------------------------------------
+def minimum_cut_many(
+    graphs: Sequence,
+    config: SolverConfig | None = None,
+    seeds: "int | Sequence[int]" = 0,
+    **overrides,
+) -> list[MinCutResult]:
+    """Exact min-cut of every graph, amortizing the pipeline across a sweep.
+
+    Bit-identical (value, witness, partition, round ledger) to calling
+    ``minimum_cut(graph, seed, ...)`` per graph, but for CSR graphs under
+    the ``oracle`` solver the whole sweep shares one batched tree
+    packing, one stacked BFS/Euler kernel build, and one chunked
+    stacked-tensor oracle pass -- the per-graph numpy call overhead that
+    dominates small instances is paid once per sweep instead of once per
+    graph.  Other solvers / graph types transparently fall back to the
+    per-graph session path.
+
+    ``seeds`` is one packing seed for all graphs or a per-graph sequence.
+    """
+    cfg = config if config is not None else SolverConfig()
+    if overrides:
+        cfg = cfg.replace(**overrides)
+    graphs = list(graphs)
+    if isinstance(seeds, int):
+        seed_list = [seeds] * len(graphs)
+    else:
+        seed_list = list(seeds)
+        if len(seed_list) != len(graphs):
+            raise ValueError(
+                f"got {len(seed_list)} seeds for {len(graphs)} graphs"
+            )
+    get_solver(cfg.solver)  # unknown names fail before any work
+
+    results: list[MinCutResult | None] = [None] * len(graphs)
+    batched: list[int] = []
+    for index, graph in enumerate(graphs):
+        if (
+            cfg.solver == "oracle"
+            and isinstance(graph, CSRGraph)
+            and graph.n > 2
+        ):
+            batched.append(index)
+    session = MinCutSolver(cfg)
+    batched_set = set(batched)
+    for index, graph in enumerate(graphs):
+        if index not in batched_set:
+            results[index] = session.solve(graph, seed=seed_list[index])
+    if batched:
+        sweep = _solve_many_oracle(
+            [graphs[i] for i in batched],
+            [seed_list[i] for i in batched],
+            cfg,
+        )
+        for index, result in zip(batched, sweep):
+            results[index] = result
+    return results  # type: ignore[return-value]
+
+
+def _solve_many_oracle(
+    graphs: "list[CSRGraph]", seeds: "list[int]", cfg: SolverConfig
+) -> list[MinCutResult]:
+    """The fused CSR/oracle sweep: batch every stage across graphs."""
+    with cfg._kernel_scope():
+        for graph in graphs:
+            if not graph.is_connected():
+                raise ValueError("graph must be connected")
+
+        many = pack_trees_many(
+            graphs, seeds, num_trees=cfg.num_trees
+        )
+
+        # Stage 2: stacked BFS/Euler arrays -- all trees of all graphs
+        # with a common node count share one level-synchronous build.
+        roots = []
+        for graph in graphs:
+            if graph.nodes is not None:
+                labels = graph.nodes
+                roots.append(
+                    min(
+                        range(graph.n),
+                        key=lambda i: (type(labels[i]).__name__, str(labels[i])),
+                    )
+                )
+            else:
+                roots.append(0)
+        stacks = _build_stacks(graphs, many.tree_edge_arrays, roots)
+
+        # Stage 3: one chunked stacked-tensor oracle pass over the sweep.
+        arrays_list = [GraphArrays.from_csr(graph) for graph in graphs]
+        jobs = [
+            OracleJob.from_arrays(
+                arrays_list[g], stacks[g].tin, stacks[g].tout, stacks[g].pos
+            )
+            for g in range(len(graphs))
+        ]
+        solved = batched_two_respecting_oracle_many(
+            jobs, batch_bytes=cfg.batch_bytes
+        )
+
+        # Stage 4: per-graph candidate decode + witness extraction.
+        results = []
+        for g, graph in enumerate(graphs):
+            stack = stacks[g]
+            values, flats = solved[g]
+            candidates = [
+                candidate_from_flat(
+                    values[t], flats[t], graph.n,
+                    lambda i, t=t: stack.edge_at(t, i),
+                    CutCandidate,
+                )
+                for t in range(len(values))
+            ]
+            packing = many.packings[g]
+            acct = many.accountants[g]
+            rooted_cache: dict[int, RootedTree] = {}
+
+            def rooted_for(index, packing=packing, root=roots[g], cache=rooted_cache):
+                if index not in cache:
+                    cache[index] = RootedTree(packing.trees[index], root)
+                return cache[index]
+
+            results.append(
+                _finalize_candidates(
+                    graph=graph,
+                    csr=graph,
+                    arrays=arrays_list[g],
+                    packing=packing,
+                    rooted_for=rooted_for,
+                    candidates=candidates,
+                    acct=acct,
+                    compute_congest=cfg.compute_congest,
+                    solver_name="oracle",
+                )
+            )
+        return results
+
+
+def _build_stacks(graphs, tree_edge_arrays, roots):
+    """One :class:`TreeStack` view per graph, same-``n`` graphs fused."""
+    by_n: dict[int, list[int]] = {}
+    for g, graph in enumerate(graphs):
+        by_n.setdefault(graph.n, []).append(g)
+    stacks: list = [None] * len(graphs)
+    for n, members in by_n.items():
+        edge_u_rows, edge_v_rows, root_rows, owners = [], [], [], []
+        for g in members:
+            for eu, ev in tree_edge_arrays[g]:
+                edge_u_rows.append(eu)
+                edge_v_rows.append(ev)
+                root_rows.append(roots[g])
+                owners.append(g)
+        if not edge_u_rows:
+            continue
+        fused = stacked_tree_arrays(
+            np.stack(edge_u_rows), np.stack(edge_v_rows),
+            np.array(root_rows, dtype=np.int64), n,
+        )
+        # Split the fused stack back into per-graph row-range views.
+        owners_arr = np.array(owners)
+        for g in members:
+            rows = np.nonzero(owners_arr == g)[0]
+            lo, hi = int(rows[0]), int(rows[-1]) + 1
+            stacks[g] = _StackView(fused, lo, hi)
+    return stacks
+
+
+class _StackView:
+    """A per-graph row-range window onto a fused :class:`TreeStack`."""
+
+    __slots__ = ("tin", "tout", "pos", "_stack", "_lo")
+
+    def __init__(self, stack, lo: int, hi: int):
+        self._stack = stack
+        self._lo = lo
+        self.tin = stack.tin[lo:hi]
+        self.tout = stack.tout[lo:hi]
+        self.pos = stack.pos[lo:hi]
+
+    def edge_at(self, t: int, i: int):
+        return self._stack.edge_at(self._lo + t, i)

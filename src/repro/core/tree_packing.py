@@ -299,6 +299,246 @@ def _pack_trees_csr(
     )
 
 
+# ----------------------------------------------------------------------
+# Many-graph batched packing (the ``minimum_cut_many`` sweep path)
+# ----------------------------------------------------------------------
+@dataclass
+class ManyPacking:
+    """Per-graph packings plus the flat arrays the sweep pipeline reuses.
+
+    ``tree_edge_arrays[g]`` holds one ``(edge_u, edge_v)`` pair per packed
+    tree of graph ``g``, in the exact insertion order the adjacency
+    mappings were built with -- what
+    :func:`~repro.kernel.forest.stacked_tree_arrays` consumes to build
+    all BFS/Euler kernels in one pass.
+    """
+
+    packings: list[TreePacking]
+    accountants: list[RoundAccountant]
+    tree_edge_arrays: list[list[tuple[np.ndarray, np.ndarray]]]
+
+
+def pack_trees_many(
+    graphs: "list[CSRGraph]",
+    seeds: "list[int]",
+    num_trees: int | None = None,
+    accountants: "list[RoundAccountant] | None" = None,
+) -> ManyPacking:
+    """Pack spanning trees for many CSR graphs in one vectorized sweep.
+
+    Produces, for every graph, the *bit-identical* :class:`TreePacking`
+    (trees, sampling decisions, duplicate bookkeeping, round charges)
+    that ``pack_trees(graph, seed)`` would -- asserted by the test
+    suite -- but runs the greedy Boruvka iterations over one
+    concatenated edge table: per phase one component labelling, one
+    masked ``minimum.at``, one vectorized hook-and-jump union across
+    *all* graphs at once.  Identity holds because every per-graph
+    decision (cost ties via the ``(cost, str)`` edge order, winner
+    selection per component, phase/charge bookkeeping, duplicate-tree
+    dedup) depends only on within-graph comparisons, which the
+    concatenated order preserves; the per-graph random draws (sampling
+    regime) happen in the per-graph preamble with the same ``Random``
+    streams the serial path uses.
+    """
+    if not graphs:
+        return ManyPacking(packings=[], accountants=[], tree_edge_arrays=[])
+    count_of = len(graphs)
+    accts = (
+        list(accountants)
+        if accountants is not None
+        else [RoundAccountant() for _ in range(count_of)]
+    )
+
+    # Per-graph preamble: approx min-cut, sampling regime, edge-order
+    # ranks -- identical, call for call, to ``_pack_trees_csr``.
+    states: list[dict] = []
+    for graph, seed, acct in zip(graphs, seeds, accts):
+        n = graph.n
+        if n < 2:
+            raise ValueError("need at least two nodes to pack trees")
+        rng = random.Random(seed)
+        count = num_trees if num_trees is not None else default_tree_count(n)
+
+        from repro.baselines.stoer_wagner import stoer_wagner_min_cut
+
+        approx_cut_value, _partition = stoer_wagner_min_cut(graph)
+        acct.charge(log2ceil(n) ** 2, "packing:approx-min-cut")
+
+        target = 24.0 * max(1.0, math.log(n))
+        packing_graph = graph
+        sampled = False
+        probability: float | None = None
+        if approx_cut_value > 2 * target:
+            probability = min(1.0, target / approx_cut_value)
+            for _attempt in range(6):
+                candidate = _sample_multiplicities_csr(graph, probability, rng)
+                if candidate.is_connected():
+                    packing_graph = candidate
+                    sampled = True
+                    break
+                probability = min(1.0, 2 * probability)
+            acct.charge(1, "packing:sampling")
+
+        eu, ev = packing_graph.edge_u, packing_graph.edge_v
+        multiplicity = np.maximum(packing_graph.edge_w, 1e-12)
+        node_labels = graph.node_labels()
+        canonical = [
+            edge_key(node_labels[u], node_labels[v])
+            for u, v in zip(eu.tolist(), ev.tolist())
+        ]
+        labels = np.array([str(pair) for pair in canonical], dtype=np.str_)
+        str_rank = np.empty(len(labels), dtype=np.int64)
+        str_rank[np.argsort(labels)] = np.arange(len(labels), dtype=np.int64)
+        # Full-edge canonical order; restricting it to any tree's edge set
+        # reproduces the serial per-tree ``sorted(..., key=edge_order_key)``
+        # (the keys are distinct, so sorting a subset preserves the order).
+        canon_order = np.array(
+            sorted(range(len(canonical)), key=lambda e: _edge_order_key(canonical[e])),
+            dtype=np.int64,
+        )
+        states.append(
+            dict(
+                n=n, count=count, eu=eu, ev=ev, mult=multiplicity,
+                eu_list=eu.tolist(), ev_list=ev.tolist(),
+                str_rank=str_rank, canon_order=canon_order,
+                approx=approx_cut_value, sampled=sampled,
+                probability=probability, trees=[], tree_edges=[],
+                seen=set(), duplicates=0, phases=log2ceil(n) + 1,
+            )
+        )
+
+    # Concatenated edge table (per-graph node blocks never interact: a
+    # component can only ever contain nodes of one graph).
+    node_off = np.zeros(count_of + 1, dtype=np.int64)
+    edge_off = np.zeros(count_of + 1, dtype=np.int64)
+    for i, st in enumerate(states):
+        node_off[i + 1] = node_off[i] + st["n"]
+        edge_off[i + 1] = edge_off[i] + len(st["eu"])
+    all_eu = np.concatenate(
+        [st["eu"] + node_off[i] for i, st in enumerate(states)]
+    )
+    all_ev = np.concatenate(
+        [st["ev"] + node_off[i] for i, st in enumerate(states)]
+    )
+    all_mult = np.concatenate([st["mult"] for st in states])
+    all_rank = np.concatenate([st["str_rank"] for st in states])
+    gid = np.repeat(np.arange(count_of), np.diff(edge_off))
+    uses = np.zeros(len(all_eu), dtype=np.int64)
+    n_total = int(node_off[-1])
+    m_total = len(all_eu)
+    sentinel = m_total
+    counts = np.array([st["count"] for st in states], dtype=np.int64)
+    phases_arr = np.array([st["phases"] for st in states], dtype=np.int64)
+
+    for iteration in range(int(counts.max(initial=0))):
+        iter_active = counts > iteration
+        cost = uses / all_mult
+        # Graph-major positions: within each graph the (cost, str) order
+        # is exactly the serial per-graph lexsort, and per-component
+        # minima never compare positions across graphs.
+        order = np.lexsort((all_rank, cost, gid))
+        position = np.empty(m_total, dtype=np.int64)
+        position[order] = np.arange(m_total, dtype=np.int64)
+
+        comp = np.arange(n_total, dtype=np.int64)
+        in_tree = np.zeros(m_total, dtype=bool)
+        running = iter_active.copy()
+        boruvka_phases = np.zeros(count_of, dtype=np.int64)
+        for phase in range(int(phases_arr[iter_active].max(initial=0))):
+            running &= phase < phases_arr
+            if not running.any():
+                break
+            boruvka_phases += running  # serial charges before its breaks
+            cu = comp[all_eu]
+            cv = comp[all_ev]
+            outgoing = (cu != cv) & running[gid]
+            og_counts = np.bincount(gid[outgoing], minlength=count_of)
+            running &= og_counts > 0  # per-graph "no outgoing" break
+            if not outgoing.any():
+                continue
+            best = np.full(n_total, sentinel, dtype=np.int64)
+            np.minimum.at(best, cu[outgoing], position[outgoing])
+            np.minimum.at(best, cv[outgoing], position[outgoing])
+            # Serial dedups winners via np.unique and re-checks for fresh
+            # edges, but an outgoing edge can never already be in a tree
+            # (its endpoints would share a component), so the duplicate
+            # winners are harmless here (idempotent scatter, commutative
+            # merge) and the serial "no fresh edges" break is dead code.
+            fresh = order[best[best < sentinel]]
+            in_tree[fresh] = True
+            comp = _merge_components(comp, all_eu[fresh], all_ev[fresh])
+        # Inactive graphs selected no edges this iteration, so one global
+        # add updates exactly the serial per-graph ``uses[mst_ids] += 1``.
+        uses += in_tree
+        for g in np.nonzero(iter_active)[0]:
+            accts[g].charge(int(boruvka_phases[g]), "packing:boruvka")
+            st = states[g]
+            local_mask = in_tree[int(edge_off[g]):int(edge_off[g + 1])]
+            # The boolean mask is a faithful stand-in for the serial
+            # frozenset-of-edge-ids signature: equal masks <=> equal sets.
+            signature = local_mask.tobytes()
+            if signature in st["seen"]:
+                st["duplicates"] += 1
+                continue
+            st["seen"].add(signature)
+            chosen_local = st["canon_order"][local_mask[st["canon_order"]]]
+            eu_l, ev_l = st["eu_list"], st["ev_list"]
+            adjacency: dict[int, list[int]] = {v: [] for v in range(st["n"])}
+            for e in chosen_local.tolist():
+                u, v = eu_l[e], ev_l[e]
+                adjacency[u].append(v)
+                adjacency[v].append(u)
+            st["trees"].append(adjacency)
+            st["tree_edges"].append((st["eu"][chosen_local], st["ev"][chosen_local]))
+
+    packings = [
+        TreePacking(
+            trees=st["trees"],
+            sampled=st["sampled"],
+            sampling_probability=st["probability"],
+            approx_cut_value=st["approx"],
+            ma_rounds=accts[g].total,
+            duplicates_removed=st["duplicates"],
+        )
+        for g, st in enumerate(states)
+    ]
+    return ManyPacking(
+        packings=packings,
+        accountants=accts,
+        tree_edge_arrays=[st["tree_edges"] for st in states],
+    )
+
+
+def _merge_components(
+    labels: np.ndarray, u: np.ndarray, v: np.ndarray
+) -> np.ndarray:
+    """Union the components of the ``(u, v)`` pairs, fully vectorized.
+
+    ``labels`` maps node -> component representative and must be
+    idempotent (``labels[labels] == labels``); the return value is again
+    idempotent.  Min-hooking plus pointer jumping: each round hooks every
+    still-split pair's larger root under the smaller one and compresses,
+    converging in O(log) rounds.  Which representative a component ends
+    up with is irrelevant to callers (only the partition matters), so
+    this is decision-free with respect to the serial union-find.
+    """
+    ru, rv = labels[u], labels[v]
+    while True:
+        lo = np.minimum(ru, rv)
+        hi = np.maximum(ru, rv)
+        split = lo != hi
+        if not split.any():
+            break
+        np.minimum.at(labels, hi[split], lo[split])
+        while True:
+            compressed = labels[labels]
+            if np.array_equal(compressed, labels):
+                break
+            labels = compressed
+        ru, rv = labels[ru], labels[rv]
+    return labels
+
+
 def _boruvka_csr(
     n: int,
     eu: np.ndarray,

@@ -2,14 +2,23 @@
 
 ``TreeKernel`` is the per-tree index structure; ``cut_kernel`` holds the
 vectorized cover/cut computations built on it; ``batched`` stacks many
-tree kernels and solves their 2-respecting oracles in one numpy pass;
-``config`` is the switch between the kernel paths and the pure-Python
-reference implementations.
+tree kernels and solves their 2-respecting oracles in one numpy pass --
+for the packed trees of one graph or, via ``OracleJob`` /
+``batched_two_respecting_oracle_many``, across a whole sweep of graphs;
+``forest`` builds BFS/Euler arrays for stacks of same-size trees without
+per-tree Python loops; ``config`` is the switch between the kernel paths
+and the pure-Python reference implementations.
 """
 
-from repro.kernel.batched import batched_two_respecting_oracle
+from repro.kernel.batched import (
+    OracleJob,
+    batched_two_respecting_oracle,
+    batched_two_respecting_oracle_many,
+    env_batch_bytes,
+)
 from repro.kernel.config import (
     kernel_enabled,
+    parse_kernel_flag,
     set_kernel_enabled,
     use_kernel,
     use_legacy,
@@ -21,15 +30,22 @@ from repro.kernel.cut_kernel import (
     pair_cover_matrix_kernel,
     partition_cut_weight_arrays,
 )
+from repro.kernel.forest import TreeStack, stacked_tree_arrays
 from repro.kernel.tree_kernel import TreeKernel
 
 __all__ = [
     "GraphArrays",
+    "OracleJob",
     "batched_two_respecting_oracle",
+    "batched_two_respecting_oracle_many",
+    "env_batch_bytes",
     "TreeKernel",
+    "TreeStack",
+    "stacked_tree_arrays",
     "cover_values_kernel",
     "cut_partition_kernel",
     "kernel_enabled",
+    "parse_kernel_flag",
     "pair_cover_matrix_kernel",
     "partition_cut_weight_arrays",
     "set_kernel_enabled",

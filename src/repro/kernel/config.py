@@ -17,12 +17,16 @@ _DISABLING = ("0", "off", "legacy", "false", "no")
 _enabled: bool | None = None
 
 
+def parse_kernel_flag(raw: str) -> bool:
+    """Interpret a ``REPRO_TREE_KERNEL`` value (shared with SolverConfig)."""
+    return raw.strip().lower() not in _DISABLING
+
+
 def kernel_enabled() -> bool:
     """Whether the array-backed kernel paths are active (default: yes)."""
     global _enabled
     if _enabled is None:
-        raw = os.environ.get("REPRO_TREE_KERNEL", "on")
-        _enabled = raw.strip().lower() not in _DISABLING
+        _enabled = parse_kernel_flag(os.environ.get("REPRO_TREE_KERNEL", "on"))
     return _enabled
 
 
