@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Run the benchmark suite and emit a BENCH_*.json trajectory file.
 
-Times every experiment module (E1-E15, ``quick=True`` -- the same code the
+Times every experiment module (E1-E16, ``quick=True`` -- the same code the
 report pipeline runs), the kernel-vs-legacy micro benchmarks, the CSR
 subsystem benchmarks (construction + end-to-end min-cut, CSR vs networkx
 path), and the many-graph sweep benchmark (``minimum_cut_many`` vs a
@@ -10,7 +10,7 @@ perf PRs have a committed baseline to diff against.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_benchmarks.py              # BENCH_PR3.json
+    PYTHONPATH=src python benchmarks/run_benchmarks.py              # BENCH_PR6.json
     PYTHONPATH=src python benchmarks/run_benchmarks.py --out X.json --repeats 5
     PYTHONPATH=src python benchmarks/run_benchmarks.py --compare BENCH_PR2.json
 
@@ -58,6 +58,7 @@ EXPERIMENTS = [
     "e13_boruvka",
     "e14_congest_compilation",
     "e15_hld_construction",
+    "e16_fault_tolerance",
 ]
 
 KERNEL_MICRO_N = 512
@@ -96,11 +97,24 @@ def median_seconds(fn, repeats: int) -> tuple[float, object]:
 def run_experiments(repeats: int) -> dict:
     rows = {}
     for name in EXPERIMENTS:
-        module = importlib.import_module(f"repro.experiments.{name}")
-        seconds, outcome = median_seconds(lambda: module.run(quick=True), repeats)
+        # Failure isolation: one broken experiment becomes a structured
+        # error row in the JSON instead of killing the whole benchmark
+        # run (the regression gate skips error rows).
+        try:
+            module = importlib.import_module(f"repro.experiments.{name}")
+            seconds, outcome = median_seconds(
+                lambda: module.run(quick=True), repeats
+            )
+        except Exception as exc:
+            rows[name] = {
+                "error": {"type": type(exc).__name__, "message": str(exc)}
+            }
+            print(f"  {name:<28}    ERROR   {type(exc).__name__}: {exc}")
+            continue
         rows[name] = {
             "median_seconds": round(seconds, 6),
             "holds": bool(outcome.holds),
+            "observed": outcome.observed,
         }
         print(f"  {name:<28} {seconds * 1e3:9.1f} ms  holds={outcome.holds}")
     return rows
@@ -295,22 +309,47 @@ def run_many_bench(repeats: int) -> dict:
 def _tracked_metrics(payload: dict) -> dict[str, float]:
     """Flat name -> seconds for every regression-gated kernel metric."""
     metrics: dict[str, float] = {}
-    for label, row in payload.get("kernel_micro", {}).items():
-        metrics[f"kernel_micro.{label}"] = row["kernel_best_seconds"]
-    for label, row in payload.get("csr", {}).items():
-        metrics[f"csr.{label}"] = row["csr_best_seconds"]
-    for label, row in payload.get("many", {}).items():
-        metrics[f"many.{label}"] = row["many_best_seconds"]
+    for section, key in (
+        ("kernel_micro", "kernel_best_seconds"),
+        ("csr", "csr_best_seconds"),
+        ("many", "many_best_seconds"),
+    ):
+        for label, row in payload.get(section, {}).items():
+            if isinstance(row, dict) and key in row:  # skip error rows
+                metrics[f"{section}.{label}"] = row[key]
     return metrics
 
 
 def compare_against(baseline_path: str, payload: dict) -> int:
-    """Exit status of the regression gate vs a committed baseline file."""
-    baseline = json.loads(Path(baseline_path).read_text())
+    """Exit status of the regression gate vs a committed baseline file.
+
+    Tolerant by design: metrics missing on either side (renamed sections,
+    error rows, baselines from older schemas) are reported and skipped,
+    never crashed on -- only a tracked metric present in *both* files can
+    fail the gate.
+    """
+    baseline_file = Path(baseline_path)
+    if not baseline_file.exists():
+        print(
+            f"regression gate: baseline {baseline_path} not found -- "
+            "nothing to compare against, passing",
+        )
+        return 0
+    try:
+        baseline = json.loads(baseline_file.read_text())
+    except json.JSONDecodeError as exc:
+        print(
+            f"regression gate: baseline {baseline_path} is not valid JSON "
+            f"({exc}) -- skipped",
+            file=sys.stderr,
+        )
+        return 0
     base_metrics = _tracked_metrics(baseline)
     new_metrics = _tracked_metrics(payload)
     failures = []
     print(f"regression gate vs {baseline_path} (>{REGRESSION_SLACK:.0%} fails):")
+    for name in sorted(set(new_metrics) - set(base_metrics)):
+        print(f"  {name:<42} new metric (no baseline row) -- skipped")
     for name, base_seconds in sorted(base_metrics.items()):
         if name not in new_metrics:
             print(f"  {name:<42} missing in current run -- skipped")
@@ -336,7 +375,7 @@ def compare_against(baseline_path: str, payload: dict) -> int:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR3.json")
+    parser.add_argument("--out", default="BENCH_PR6.json")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
         "--check",
@@ -364,7 +403,7 @@ def main() -> int:
     many = run_many_bench(args.repeats)
 
     payload = {
-        "schema": "repro-bench/3",
+        "schema": "repro-bench/6",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "repeats": args.repeats,

@@ -49,6 +49,18 @@ round ledger).  The networkx boundary stays supported too:
 """
 
 from repro.accounting import CostModel, RoundAccountant
+from repro.certify import Certificate, certify_cut, certify_result
+from repro.errors import (
+    BudgetExceeded,
+    CertificationError,
+    FaultPlanError,
+    GraphValidationError,
+    PackingError,
+    ReproError,
+    SolverError,
+    TransportTimeout,
+)
+from repro.faults import FaultPlan
 from repro.graphs import CSRGraph
 from repro.core import (
     CutCandidate,
@@ -56,6 +68,7 @@ from repro.core import (
     MinCutResult,
     MinCutSolver,
     SolverConfig,
+    SweepFailure,
     minimum_cut,
     minimum_cut_many,
     one_respecting_cuts,
@@ -78,10 +91,23 @@ from repro.kernel import (
 )
 from repro.ma import MinorAggregationEngine, congest_estimates
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CSRGraph",
+    "FaultPlan",
+    "Certificate",
+    "certify_cut",
+    "certify_result",
+    "ReproError",
+    "GraphValidationError",
+    "SolverError",
+    "FaultPlanError",
+    "PackingError",
+    "BudgetExceeded",
+    "CertificationError",
+    "TransportTimeout",
+    "SweepFailure",
     "TreeKernel",
     "kernel_enabled",
     "set_kernel_enabled",

@@ -63,19 +63,36 @@ class _CollectProgram(NodeProgram):
 
 
 def naive_congest_min_cut(
-    graph: nx.Graph, root: Node | None = None
+    graph: nx.Graph,
+    root: Node | None = None,
+    faults=None,
+    accountant=None,
 ) -> dict[str, Any]:
-    """Run the collect-at-leader strategy; returns value + measured rounds."""
+    """Run the collect-at-leader strategy; returns value + measured rounds.
+
+    ``faults`` (a :class:`~repro.faults.FaultPlan`) runs both phases --
+    the BFS tree and the edge convergecast -- over the reliable retry
+    transport: the computed cut stays bit-identical to the lossless run
+    and the extra physical rounds appear under ``transport``.
+    """
     if root is None:
         root = min(graph.nodes(), key=lambda v: (type(v).__name__, str(v)))
     network = CongestNetwork(graph)
+    run_kwargs: dict = {}
+    if faults is not None:
+        run_kwargs["faults"] = faults
+    if accountant is not None:
+        run_kwargs["accountant"] = accountant
     parents = {
-        v: info["parent"] for v, info in bfs_tree(network, root).items()
+        v: info["parent"]
+        for v, info in bfs_tree(network, root, **run_kwargs).items()
     }
     bfs_rounds = network.rounds_executed
+    bfs_transport = dict(network.transport)
     contexts = network.run(
         lambda: _CollectProgram(root, parents, graph),
         max_rounds=8 * (graph.number_of_edges() + graph.number_of_nodes()) + 64,
+        **run_kwargs,
     )
     collected = contexts[root].state["collected"]
     rebuilt = nx.Graph()
@@ -86,10 +103,29 @@ def naive_congest_min_cut(
         "leader did not receive the whole graph"
     )
     value, partition = stoer_wagner_min_cut(rebuilt)
-    return {
+    result = {
         "value": value,
         "partition": partition,
         "rounds": network.rounds_executed,
         "bfs_rounds": bfs_rounds,
         "messages": network.messages_sent,
     }
+    if faults is not None:
+        collect_transport = dict(network.transport)
+        result["transport"] = {
+            "physical_rounds": (
+                bfs_transport.get("physical_rounds", 0)
+                + collect_transport.get("physical_rounds", 0)
+            ),
+            "inner_rounds": (
+                bfs_transport.get("inner_rounds", 0)
+                + collect_transport.get("inner_rounds", 0)
+            ),
+            "retransmissions": (
+                bfs_transport.get("retransmissions", 0)
+                + collect_transport.get("retransmissions", 0)
+            ),
+            "bfs": bfs_transport,
+            "collect": collect_transport,
+        }
+    return result

@@ -47,6 +47,7 @@ import networkx as nx
 
 import repro
 from repro.core.registry import registered_solvers, solver_descriptions
+from repro.errors import ReproError
 from repro.graphs import CSR_FAMILY_BUILDERS, CSRGraph
 
 
@@ -147,7 +148,7 @@ def cmd_mincut(args) -> int:
     graph = _build_graph(args)
     try:
         result = repro.MinCutSolver(config).solve(graph, seed=args.seed)
-    except ValueError as error:
+    except (ValueError, ReproError) as error:
         raise SystemExit(str(error))
     print(f"min-cut value : {result.value}")
     side_a, side_b = result.partition
@@ -160,6 +161,17 @@ def cmd_mincut(args) -> int:
     else:
         print(f"witness       : partition reported by {result.solver} "
               "(no respecting tree edges)")
+    if getattr(args, "certify", False):
+        certificate = result.verify(graph)
+        status = "PASS" if certificate.ok else "FAIL"
+        passed = sum(1 for ok in certificate.checks.values() if ok)
+        print(f"certificate   : {status} "
+              f"({passed}/{len(certificate.checks)} checks, "
+              f"recomputed value {certificate.recomputed_value})")
+        if not certificate.ok:
+            for failure in certificate.failures:
+                print(f"  ! {failure}")
+            return 1
     if args.verbose:
         backend = "csr" if isinstance(graph, CSRGraph) else "networkx"
         print(f"backend       : {backend}")
@@ -183,12 +195,33 @@ def cmd_sweep(args) -> int:
     builder = _family_builder(args.family, config.backend)
     seeds = list(range(args.seed, args.seed + args.count))
     graphs = [builder(args.n, seed) for seed in seeds]
+    certify = getattr(args, "certify", False)
     start = time.perf_counter()
     try:
-        results = repro.minimum_cut_many(graphs, config, seeds=seeds)
-    except ValueError as error:
+        results = repro.minimum_cut_many(
+            graphs, config, seeds=seeds, certify=certify
+        )
+    except (ValueError, ReproError) as error:
         raise SystemExit(str(error))
     elapsed = time.perf_counter() - start
+
+    def row(seed, result):
+        if isinstance(result, repro.SweepFailure):
+            return {"seed": seed, "failure": result.as_dict()}
+        entry = {
+            "seed": seed,
+            "value": result.value,
+            "partition_sizes": [len(side) for side in result.partition],
+            "cut_edges": sorted(map(str, result.cut_edges)),
+            "witness": list(map(str, result.respecting_edges)),
+            "best_tree_index": result.best_tree_index,
+            "ma_rounds": result.ma_rounds,
+        }
+        if certify:
+            entry["certified"] = result.stats["certificate"]["ok"]
+        return entry
+
+    failures = [r for r in results if isinstance(r, repro.SweepFailure)]
     payload = {
         "family": args.family,
         "n": args.n,
@@ -197,28 +230,19 @@ def cmd_sweep(args) -> int:
         "config": config.as_dict(),
         "elapsed_seconds": round(elapsed, 6),
         "graphs_per_second": round(args.count / elapsed, 2) if elapsed else None,
-        "results": [
-            {
-                "seed": seed,
-                "value": result.value,
-                "partition_sizes": [len(side) for side in result.partition],
-                "cut_edges": sorted(map(str, result.cut_edges)),
-                "witness": list(map(str, result.respecting_edges)),
-                "best_tree_index": result.best_tree_index,
-                "ma_rounds": result.ma_rounds,
-            }
-            for seed, result in zip(seeds, results)
-        ],
+        "failures": len(failures),
+        "results": [row(seed, result) for seed, result in zip(seeds, results)],
     }
     text = json.dumps(payload, indent=2)
     if args.json:
         with open(args.json, "w") as handle:
             handle.write(text + "\n")
         print(f"swept {args.count} x {args.family}(n={args.n}) "
-              f"in {elapsed:.3f}s -> {args.json}")
+              f"in {elapsed:.3f}s -> {args.json}"
+              + (f" ({len(failures)} failed)" if failures else ""))
     else:
         print(text)
-    return 0
+    return 1 if failures else 0
 
 
 def cmd_generate(args) -> int:
@@ -278,6 +302,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--no-congest", action="store_true",
             help="skip the Theorem 17 CONGEST estimates",
+        )
+        p.add_argument(
+            "--certify", action="store_true",
+            help="independently re-verify the returned cut against the "
+                 "raw edge table (nonzero exit on failure)",
         )
 
     p_mincut = sub.add_parser("mincut", help="compute the exact min-cut")

@@ -7,6 +7,12 @@ programs round by round, counts rounds, and audits message sizes;
 tree, broadcast, convergecast, leader election) plus the naive
 collect-at-a-leader exact min-cut baseline the paper's algorithms are
 compared against.
+
+Runs optionally execute under an injected :class:`~repro.faults.FaultPlan`
+(``network.run(..., faults=plan)``): a reliable go-back-N retry transport
+re-delivers dropped/duplicated/reordered frames so the inner execution
+stays bit-identical to the lossless run, with the physical-round overhead
+reported on ``network.transport``.
 """
 
 from repro.congest.network import CongestNetwork, NodeProgram, NodeContext

@@ -43,9 +43,14 @@ class _BFSProgram(NodeProgram):
         }
 
 
-def bfs_tree(network: CongestNetwork, root: Node) -> dict[Node, dict]:
-    """Build a BFS tree; returns per-node {parent, depth}.  ~ecc(root) rounds."""
-    contexts = network.run(lambda: _BFSProgram(root))
+def bfs_tree(network: CongestNetwork, root: Node, **run_kwargs) -> dict[Node, dict]:
+    """Build a BFS tree; returns per-node {parent, depth}.  ~ecc(root) rounds.
+
+    Extra keyword arguments (``faults``, ``accountant``, ``reliable``,
+    ...) pass through to :meth:`CongestNetwork.run` -- same for every
+    helper below.
+    """
+    contexts = network.run(lambda: _BFSProgram(root), **run_kwargs)
     return {
         v: {"parent": c.state.get("parent"), "depth": c.state.get("depth")}
         for v, c in contexts.items()
@@ -75,9 +80,11 @@ class _BroadcastProgram(NodeProgram):
         return {nbr: value for nbr in ctx.neighbors if nbr not in senders}
 
 
-def broadcast(network: CongestNetwork, root: Node, value: Any) -> dict[Node, Any]:
+def broadcast(
+    network: CongestNetwork, root: Node, value: Any, **run_kwargs
+) -> dict[Node, Any]:
     """Flood ``value`` from ``root``; ~D rounds."""
-    contexts = network.run(lambda: _BroadcastProgram(root, value))
+    contexts = network.run(lambda: _BroadcastProgram(root, value), **run_kwargs)
     return {v: c.state.get("value") for v, c in contexts.items()}
 
 
@@ -120,12 +127,12 @@ class _ConvergecastProgram(NodeProgram):
 
 
 def convergecast_sum(
-    network: CongestNetwork, root: Node, inputs: dict[Node, float]
+    network: CongestNetwork, root: Node, inputs: dict[Node, float], **run_kwargs
 ) -> float:
     """Sum all inputs at the root over a fresh BFS tree; ~2·ecc(root) rounds."""
-    tree = bfs_tree(network, root)
+    tree = bfs_tree(network, root, **run_kwargs)
     parents = {v: info["parent"] for v, info in tree.items()}
-    contexts = network.run(lambda: _ConvergecastProgram(parents, inputs))
+    contexts = network.run(lambda: _ConvergecastProgram(parents, inputs), **run_kwargs)
     return contexts[root].state["total"]
 
 
@@ -148,9 +155,9 @@ class _LeaderProgram(NodeProgram):
         return {}
 
 
-def leader_election(network: CongestNetwork) -> Node:
+def leader_election(network: CongestNetwork, **run_kwargs) -> Node:
     """Everyone agrees on the minimum ID; ~D rounds (quiescence-detected)."""
-    contexts = network.run(lambda: _LeaderProgram())
+    contexts = network.run(lambda: _LeaderProgram(), **run_kwargs)
     leaders = {c.state["best"][2] for c in contexts.values()}
     assert len(leaders) == 1, "leader election did not converge"
     return leaders.pop()

@@ -37,6 +37,7 @@ from repro.core.session import (
     GraphPacking,
     MinCutSolver,
     SolverConfig,
+    SweepFailure,
     minimum_cut_many,
 )
 
@@ -58,6 +59,7 @@ __all__ = [
     "MinCutSolver",
     "SolverConfig",
     "GraphPacking",
+    "SweepFailure",
     "SolverEntry",
     "register_solver",
     "registered_solvers",

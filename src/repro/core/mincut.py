@@ -71,6 +71,20 @@ class MinCutResult:
         """The 1 or 2 tree edges of the witnessing respecting cut."""
         return self.candidate.edges
 
+    def verify(self, graph, cross_check: str | None = None):
+        """Independently certify this result against its source graph.
+
+        Delegates to :func:`repro.certify.certify_result`: the witness
+        cut is re-evaluated from the raw CSR edge table (partition
+        consistency, crossing weight, cut-edge set, disconnection) with
+        none of the solver machinery, optionally cross-checked against a
+        second registered solver.  Returns the
+        :class:`~repro.certify.Certificate`.
+        """
+        from repro.certify import certify_result
+
+        return certify_result(graph, self, cross_check=cross_check)
+
 
 def _empty_packing(value: float) -> TreePacking:
     return TreePacking(

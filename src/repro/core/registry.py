@@ -30,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
+from repro.errors import SolverError
+
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.core.mincut import MinCutResult
     from repro.core.session import GraphPacking, SolveContext
@@ -97,7 +99,9 @@ def get_solver(name: str) -> SolverEntry:
     entry = _REGISTRY.get(name)
     if entry is None:
         known = ", ".join(sorted(_REGISTRY))
-        raise ValueError(f"unknown solver {name!r}; registered solvers: {known}")
+        raise SolverError(
+            f"unknown solver {name!r}; registered solvers: {known}"
+        )
     return entry
 
 

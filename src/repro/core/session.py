@@ -62,6 +62,7 @@ from repro.core.mincut import (
 )
 from repro.core.registry import SolverEntry, get_solver, register_solver
 from repro.core.tree_packing import pack_trees, pack_trees_many
+from repro.errors import BudgetExceeded, GraphValidationError, PackingError
 from repro.graphs.csr import CSRGraph
 from repro.kernel.batched import (
     OracleJob,
@@ -84,6 +85,7 @@ __all__ = [
     "SolverConfig",
     "MinCutSolver",
     "GraphPacking",
+    "SweepFailure",
     "minimum_cut_many",
 ]
 
@@ -246,7 +248,7 @@ class GraphPacking:
         """The Theorem 12 tree packing (computed on first access)."""
         if self._packing is None:
             if self._trivial is not None:
-                raise ValueError("two-node graphs have no tree packing")
+                raise PackingError("two-node graphs have no tree packing")
             acct = self._origin_acct or RoundAccountant()
             self._origin_acct = acct
             before = acct.by_label()
@@ -519,25 +521,37 @@ class MinCutSolver:
 
 
 def _validate_graph(graph) -> tuple[CSRGraph | None, MinCutResult | None]:
-    """Shared input validation; returns (csr_or_None, trivial_result)."""
-    import networkx as nx
+    """Shared input validation; returns (csr_or_None, trivial_result).
 
+    One path for both graph types: the CSR and networkx branches used to
+    duplicate these checks with bare ``ValueError``\\ s; now every caller
+    (``pack``, ``minimum_cut_many``, the fused oracle sweep) raises the
+    same :class:`~repro.errors.GraphValidationError` with the numbers a
+    user needs to act on (node count, component count).
+    """
     csr = graph if isinstance(graph, CSRGraph) else None
+    n = csr.n if csr is not None else graph.number_of_nodes()
+    if n < 2:
+        raise GraphValidationError(
+            f"minimum cut needs at least two nodes, got a graph with {n}"
+        )
     if csr is not None:
-        if csr.n < 2:
-            raise ValueError("minimum cut needs at least two nodes")
-        if not csr.is_connected():
-            raise ValueError("graph must be connected")
-        if csr.n == 2:
-            return csr, _two_node_cut_csr(csr)
-        return csr, None
-    if graph.number_of_nodes() < 2:
-        raise ValueError("minimum cut needs at least two nodes")
-    if not nx.is_connected(graph):
-        raise ValueError("graph must be connected")
-    if graph.number_of_nodes() == 2:
-        return None, _two_node_cut(graph)
-    return None, None
+        components = len(np.unique(csr.connected_components()))
+    else:
+        import networkx as nx
+
+        components = nx.number_connected_components(graph)
+    if components != 1:
+        raise GraphValidationError(
+            f"graph must be connected: {n} nodes form {components} "
+            "connected components (every cut of a disconnected graph is "
+            "trivially 0; solve each component separately)"
+        )
+    if n == 2:
+        return csr, (
+            _two_node_cut_csr(csr) if csr is not None else _two_node_cut(graph)
+        )
+    return csr, None
 
 
 def _finalize_candidates(
@@ -652,19 +666,37 @@ def _solve_minor_aggregation(packed: GraphPacking, ctx: SolveContext) -> MinCutR
 )
 def _solve_oracle(packed: GraphPacking, ctx: SolveContext) -> MinCutResult:
     use_kernel_path = packed.csr is not None or kernel_enabled()
+    degraded = None
     if use_kernel_path:
-        # All Θ(log n) per-tree solves batched over stacked kernel arrays.
-        candidates = batched_two_respecting_oracle(
-            packed.arrays,
-            packed.rooted_trees,
-            batch_bytes=packed.config.batch_bytes,
-        )
+        try:
+            # All Θ(log n) per-tree solves batched over stacked kernel arrays.
+            candidates = batched_two_respecting_oracle(
+                packed.arrays,
+                packed.rooted_trees,
+                batch_bytes=packed.config.batch_bytes,
+            )
+        except (BudgetExceeded, MemoryError) as exc:
+            # Automatic degradation: the stacked tensor does not fit the
+            # scratch budget (or the allocator), so give up on batching
+            # and solve tree by tree -- same candidates, just slower.
+            candidates = [
+                two_respecting_oracle(packed.graph, rooted, arrays=packed.arrays)
+                for rooted in packed.rooted_trees
+            ]
+            degraded = {
+                "from": "batched-oracle",
+                "to": "per-tree-oracle",
+                "reason": f"{type(exc).__name__}: {exc}",
+            }
     else:
         candidates = [
             two_respecting_oracle(packed.graph, rooted, arrays=packed.arrays)
             for rooted in packed.rooted_trees
         ]
-    return packed.finalize(candidates, ctx)
+    result = packed.finalize(candidates, ctx)
+    if degraded is not None:
+        result.stats["degraded"] = degraded
+    return result
 
 
 @register_solver(
@@ -700,12 +732,57 @@ def _solve_karger(packed: GraphPacking, ctx: SolveContext) -> MinCutResult:
 # ----------------------------------------------------------------------
 # The batched many-graph entrypoint
 # ----------------------------------------------------------------------
+@dataclass
+class SweepFailure:
+    """Structured record of one graph that failed inside a sweep.
+
+    ``minimum_cut_many`` (with the default ``strict=False``) isolates
+    per-graph errors: a failed graph contributes one of these in its
+    result slot instead of aborting the whole sweep.  ``ok`` mirrors
+    :attr:`Certificate.ok <repro.certify.Certificate.ok>` so callers can
+    filter a mixed result list uniformly.
+    """
+
+    index: int
+    seed: int
+    stage: str  # "validate" | "solve" | "certify"
+    error: str  # exception class name
+    message: str
+    solver: str
+
+    ok: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "seed": self.seed,
+            "stage": self.stage,
+            "error": self.error,
+            "message": self.message,
+            "solver": self.solver,
+            "ok": self.ok,
+        }
+
+
+def _sweep_failure(index, seed, stage, exc, solver) -> SweepFailure:
+    return SweepFailure(
+        index=index,
+        seed=seed,
+        stage=stage,
+        error=type(exc).__name__,
+        message=str(exc),
+        solver=solver,
+    )
+
+
 def minimum_cut_many(
     graphs: Sequence,
     config: SolverConfig | None = None,
     seeds: "int | Sequence[int]" = 0,
+    strict: bool = False,
+    certify: bool = False,
     **overrides,
-) -> list[MinCutResult]:
+) -> "list[MinCutResult | SweepFailure]":
     """Exact min-cut of every graph, amortizing the pipeline across a sweep.
 
     Bit-identical (value, witness, partition, round ledger) to calling
@@ -718,6 +795,23 @@ def minimum_cut_many(
     per-graph session path.
 
     ``seeds`` is one packing seed for all graphs or a per-graph sequence.
+
+    **Failure isolation.**  With the default ``strict=False`` a graph
+    that fails -- invalid input, a solver error, a failed certificate --
+    yields a :class:`SweepFailure` in its result slot and the sweep
+    continues; a seed-count mismatch or an unknown solver name still
+    raises, because those poison every slot.  If the *fused* oracle
+    sweep fails as a whole, the batched graphs are re-solved one by one
+    (results marked ``stats["degraded"]``) so one pathological graph
+    cannot take down its batch-mates.  ``strict=True`` restores
+    fail-fast raising on the first error.
+
+    ``certify=True`` additionally runs
+    :func:`repro.certify.certify_result` over every successful result,
+    attaching the certificate under ``stats["certificate"]``; a result
+    whose certificate fails becomes a :class:`SweepFailure` (stage
+    ``"certify"``) under ``strict=False`` and raises
+    :class:`~repro.errors.CertificationError` under ``strict=True``.
     """
     cfg = config if config is not None else SolverConfig()
     if overrides:
@@ -733,28 +827,88 @@ def minimum_cut_many(
             )
     get_solver(cfg.solver)  # unknown names fail before any work
 
-    results: list[MinCutResult | None] = [None] * len(graphs)
-    batched: list[int] = []
+    results: "list[MinCutResult | SweepFailure | None]" = [None] * len(graphs)
+    valid: list[int] = []
     for index, graph in enumerate(graphs):
+        try:
+            _validate_graph(graph)
+        except Exception as exc:
+            if strict:
+                raise
+            results[index] = _sweep_failure(
+                index, seed_list[index], "validate", exc, cfg.solver
+            )
+        else:
+            valid.append(index)
+
+    batched = [
+        index
+        for index in valid
         if (
             cfg.solver == "oracle"
-            and isinstance(graph, CSRGraph)
-            and graph.n > 2
-        ):
-            batched.append(index)
+            and isinstance(graphs[index], CSRGraph)
+            and graphs[index].n > 2
+        )
+    ]
     session = MinCutSolver(cfg)
     batched_set = set(batched)
-    for index, graph in enumerate(graphs):
+
+    def solve_one(index: int, degraded: "dict | None" = None):
+        try:
+            result = session.solve(graphs[index], seed=seed_list[index])
+        except Exception as exc:
+            if strict:
+                raise
+            return _sweep_failure(
+                index, seed_list[index], "solve", exc, cfg.solver
+            )
+        if degraded is not None and "degraded" not in result.stats:
+            result.stats["degraded"] = degraded
+        return result
+
+    for index in valid:
         if index not in batched_set:
-            results[index] = session.solve(graph, seed=seed_list[index])
+            results[index] = solve_one(index)
     if batched:
-        sweep = _solve_many_oracle(
-            [graphs[i] for i in batched],
-            [seed_list[i] for i in batched],
-            cfg,
-        )
+        try:
+            sweep = _solve_many_oracle(
+                [graphs[i] for i in batched],
+                [seed_list[i] for i in batched],
+                cfg,
+            )
+        except Exception as exc:
+            if strict:
+                raise
+            # The fused sweep shares arrays across graphs, so one bad
+            # graph can sink the batch; retry each member in isolation.
+            degraded = {
+                "from": "fused-oracle-sweep",
+                "to": "per-graph-session",
+                "reason": f"{type(exc).__name__}: {exc}",
+            }
+            sweep = [solve_one(i, degraded=dict(degraded)) for i in batched]
         for index, result in zip(batched, sweep):
             results[index] = result
+
+    if certify:
+        from repro.certify import certify_result
+
+        for index, result in enumerate(results):
+            if not isinstance(result, MinCutResult):
+                continue
+            certificate = certify_result(graphs[index], result)
+            result.stats["certificate"] = certificate.as_dict()
+            if not certificate.ok:
+                if strict:
+                    certificate.raise_if_failed()
+                results[index] = SweepFailure(
+                    index=index,
+                    seed=seed_list[index],
+                    stage="certify",
+                    error="CertificationError",
+                    message="; ".join(certificate.failures),
+                    solver=cfg.solver,
+                )
     return results  # type: ignore[return-value]
 
 
@@ -765,7 +919,11 @@ def _solve_many_oracle(
     with cfg._kernel_scope():
         for graph in graphs:
             if not graph.is_connected():
-                raise ValueError("graph must be connected")
+                components = len(np.unique(graph.connected_components()))
+                raise GraphValidationError(
+                    f"graph must be connected: {graph.n} nodes form "
+                    f"{components} connected components"
+                )
 
         many = pack_trees_many(
             graphs, seeds, num_trees=cfg.num_trees

@@ -1,0 +1,78 @@
+"""Typed error taxonomy for the whole pipeline.
+
+Every error the package raises deliberately derives from
+:class:`ReproError`, so callers can catch one base class instead of
+guessing which layer threw.  Two of the classes *also* subclass
+``ValueError`` -- :class:`GraphValidationError` and :class:`SolverError`
+-- because that is what the historical API raised for bad inputs and
+unknown solver names; existing ``except ValueError`` call sites keep
+working unchanged.
+
+Hierarchy::
+
+    ReproError
+    ├── GraphValidationError (ValueError)   bad graph input
+    ├── SolverError          (ValueError)   unknown/broken solver dispatch
+    ├── FaultPlanError       (ValueError)   malformed fault-injection plan
+    ├── PackingError         (RuntimeError) tree-packing stage failure
+    ├── BudgetExceeded       (RuntimeError) scratch budget cannot fit a solve
+    ├── CertificationError   (RuntimeError) a returned cut failed its audit
+    └── TransportTimeout     (RuntimeError) reliable transport ran out of
+                                            physical rounds under faults
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphValidationError",
+    "SolverError",
+    "FaultPlanError",
+    "PackingError",
+    "BudgetExceeded",
+    "CertificationError",
+    "TransportTimeout",
+]
+
+
+class ReproError(Exception):
+    """Base class of every deliberate error raised by :mod:`repro`."""
+
+
+class GraphValidationError(ReproError, ValueError):
+    """The input graph cannot be solved (too small, disconnected, bad
+    weights, malformed arrays).  Subclasses ``ValueError`` for backward
+    compatibility with the historical validation errors."""
+
+
+class SolverError(ReproError, ValueError):
+    """Solver dispatch failed (unknown registry name)."""
+
+
+class FaultPlanError(ReproError, ValueError):
+    """A :class:`~repro.faults.FaultPlan` field is out of range."""
+
+
+class PackingError(ReproError, RuntimeError):
+    """The Theorem 12 tree-packing stage cannot run (e.g. a trivial
+    two-node graph has no packing to expose)."""
+
+
+class BudgetExceeded(ReproError, RuntimeError):
+    """A single stacked-oracle tree needs more scratch than the
+    ``batch_bytes`` budget allows; callers degrade to per-tree solves."""
+
+    def __init__(self, message: str, required_bytes: int = 0, budget_bytes: int = 0):
+        super().__init__(message)
+        self.required_bytes = required_bytes
+        self.budget_bytes = budget_bytes
+
+
+class CertificationError(ReproError, RuntimeError):
+    """An independently re-evaluated cut disagreed with the result."""
+
+
+class TransportTimeout(ReproError, RuntimeError):
+    """The retry transport exhausted its physical-round budget without
+    completing the inner (logical) execution -- the injected fault rate
+    (or a crashed node) was beyond what retransmission can absorb."""

@@ -30,4 +30,5 @@ ALL_EXPERIMENTS = [
     "e13_boruvka",
     "e14_congest_compilation",
     "e15_hld_construction",
+    "e16_fault_tolerance",
 ]

@@ -1,0 +1,111 @@
+"""E16 -- min-cut under an unreliable CONGEST network.
+
+Claim (robustness of the simulation layer, not a paper theorem): the
+go-back-N retry transport of :mod:`repro.congest.network` makes any
+CONGEST ``NodeProgram`` execute *bit-identically* to its lossless run
+under seeded i.i.d. link loss -- the injected faults cost physical
+rounds, never correctness.  Measured here on the collect-at-a-leader
+min-cut baseline over several graph families:
+
+* at every drop rate the computed cut value and partition equal the
+  lossless run's, and the cut passes the independent certifier
+  (:mod:`repro.certify`) against the raw edge table;
+* the measured physical/logical round overhead at drop rate 0 is
+  exactly 1.0 (the transport is free when nothing fails) and grows with
+  ``p``, staying within a small factor of the stop-and-wait reference
+  curve ``1/(1-p)^2`` (go-back-N gap recovery and synchronizer stalls
+  put the measurement above the pipelined ideal, below a topology
+  constant times the reference).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.naive_congest import naive_congest_min_cut
+from repro.certify import certify_cut
+from repro.experiments.common import ExperimentResult
+from repro.faults import FaultPlan
+from repro.graphs import CSR_FAMILY_BUILDERS
+from repro.ma.simulation import expected_transport_overhead
+
+#: measured overhead may exceed the stop-and-wait reference by a
+#: topology-dependent constant (frontier stalls gate the whole network
+#: on the unluckiest link); 8x absorbs every family at these sizes.
+_OVERHEAD_SLACK = 8.0
+
+DROP_RATES = (0.0, 0.1, 0.25)
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    families = ["cycle", "grid", "gnm"] if quick else list(CSR_FAMILY_BUILDERS)
+    n = 12 if quick else 16
+    rows = []
+    all_identical = True
+    all_certified = True
+    overhead_sane = True
+    for family in families:
+        graph = CSR_FAMILY_BUILDERS[family](n, 1).to_networkx()
+        baseline = naive_congest_min_cut(graph)
+        for drop in DROP_RATES:
+            plan = FaultPlan(seed=17, drop_rate=drop)
+            faulty = naive_congest_min_cut(graph, faults=plan)
+            identical = (
+                faulty["value"] == baseline["value"]
+                and set(map(frozenset, faulty["partition"]))
+                == set(map(frozenset, baseline["partition"]))
+            )
+            side_a, side_b = faulty["partition"]
+            certificate = certify_cut(
+                graph, (frozenset(side_a), frozenset(side_b)), faulty["value"]
+            )
+            transport = faulty["transport"]
+            inner = transport["inner_rounds"]
+            overhead = transport["physical_rounds"] / max(1, inner)
+            expected = expected_transport_overhead(drop)
+            sane = (
+                abs(overhead - 1.0) < 1e-9
+                if drop == 0.0
+                else 1.0 <= overhead <= _OVERHEAD_SLACK * expected
+            )
+            all_identical &= identical
+            all_certified &= certificate.ok
+            overhead_sane &= sane
+            rows.append(
+                {
+                    "family": family,
+                    "drop": drop,
+                    "value": faulty["value"],
+                    "identical": identical,
+                    "certified": certificate.ok,
+                    "phys_rounds": transport["physical_rounds"],
+                    "retransmits": transport["retransmissions"],
+                    "overhead": round(overhead, 2),
+                    "expected<=": round(expected, 2),
+                }
+            )
+    holds = all_identical and all_certified and overhead_sane
+    by_drop = {
+        drop: [r["overhead"] for r in rows if r["drop"] == drop]
+        for drop in DROP_RATES
+    }
+    overhead_summary = ", ".join(
+        f"p={drop:g}: {min(v):.2f}-{max(v):.2f}x" for drop, v in by_drop.items()
+    )
+    return ExperimentResult(
+        experiment="E16 fault-injected CONGEST transport",
+        paper_claim=(
+            "retry transport: bit-identical results under link loss, "
+            "overhead ~ 1/(1-p)^2"
+        ),
+        rows=rows,
+        observed=(
+            f"bit-identical to lossless={all_identical}; "
+            f"independently certified={all_certified}; "
+            f"round overhead {overhead_summary}; bounded by the reference "
+            f"curve x{_OVERHEAD_SLACK:.0f}={overhead_sane}"
+        ),
+        holds=holds,
+    )
+
+
+if __name__ == "__main__":
+    print(run(quick=True).summary())

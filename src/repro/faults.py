@@ -1,0 +1,190 @@
+"""Seeded, declarative fault injection for the CONGEST simulator.
+
+A :class:`FaultPlan` describes *what goes wrong* on the simulated
+network -- per-link message drop/duplication/reordering probabilities,
+fixed added latency, and per-round node crash schedules -- without
+saying anything about *how* the transport copes.  The plan is a frozen
+value object; :meth:`FaultPlan.injector` turns it into a stateful
+:class:`FaultInjector` that a single :meth:`CongestNetwork.run
+<repro.congest.network.CongestNetwork.run>` consumes.
+
+Determinism is the whole point: one ``random.Random(seed)`` drives every
+decision, consumed in a fixed order (physical round by physical round,
+link by link in the network's frozen sorted-neighbor order), so the same
+plan replayed over the same program yields the *same* drops, the same
+duplicates, the same delays, and therefore the same round count and the
+same results -- the chaos suite asserts exactly this.
+
+Fates are drawn per transmitted frame:
+
+* **drop** -- the frame vanishes (probability ``drop_rate``, overridable
+  per undirected link via ``link_drop``);
+* **duplicate** -- a second copy arrives 1..``max_skew`` rounds later
+  (probability ``duplicate_rate``);
+* **reorder** -- delivery is delayed by 1..``max_skew`` extra rounds, so
+  frames sent later on other links can overtake it (probability
+  ``reorder_rate``);
+* **latency** -- every surviving copy additionally takes ``latency``
+  extra rounds;
+* **crash** -- ``crash_rounds[node] = r`` freezes the node from the
+  start of physical round ``r`` on (crash-stop: it stops executing,
+  sending, and receiving; ``r <= 1`` means it never participates).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+from repro.errors import FaultPlanError
+from repro.trees.rooted import edge_key
+
+Node = Hashable
+
+__all__ = ["FaultPlan", "FaultInjector"]
+
+_RATE_FIELDS = ("drop_rate", "duplicate_rate", "reorder_rate")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Frozen description of everything that goes wrong on the network.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the single RNG that decides every fate.  Same plan +
+        same program = same execution, bit for bit.
+    drop_rate / duplicate_rate / reorder_rate:
+        Per-frame probabilities in ``[0, 1]``.
+    latency:
+        Extra delivery rounds added to every surviving frame (>= 0).
+    link_drop:
+        ``{edge_key(u, v): rate}`` per-undirected-link drop overrides;
+        links not listed use ``drop_rate``.
+    crash_rounds:
+        ``{node: physical_round}`` crash-stop schedule (1-based; the
+        node is dead from the start of that round).
+    max_skew:
+        Upper bound on the random extra delay of duplicated/reordered
+        frames (>= 1).
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    latency: int = 0
+    link_drop: Mapping = field(default_factory=dict)
+    crash_rounds: Mapping = field(default_factory=dict)
+    max_skew: int = 3
+
+    def __post_init__(self):
+        for name in _RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise FaultPlanError(
+                    f"{name} must be in [0, 1], got {rate!r}"
+                )
+        for link, rate in self.link_drop.items():
+            if not 0.0 <= rate <= 1.0:
+                raise FaultPlanError(
+                    f"link_drop[{link!r}] must be in [0, 1], got {rate!r}"
+                )
+        if self.latency < 0:
+            raise FaultPlanError(f"latency must be >= 0, got {self.latency}")
+        if self.max_skew < 1:
+            raise FaultPlanError(f"max_skew must be >= 1, got {self.max_skew}")
+        for node, round_no in self.crash_rounds.items():
+            if round_no < 0:
+                raise FaultPlanError(
+                    f"crash_rounds[{node!r}] must be >= 0, got {round_no}"
+                )
+
+    @property
+    def max_drop_rate(self) -> float:
+        """Worst drop probability over all links (sizes the retry budget)."""
+        rates = [self.drop_rate, *self.link_drop.values()]
+        return max(rates)
+
+    def is_lossless(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            self.drop_rate == 0.0
+            and self.duplicate_rate == 0.0
+            and self.reorder_rate == 0.0
+            and self.latency == 0
+            and not self.link_drop
+            and not self.crash_rounds
+        )
+
+    def injector(self) -> "FaultInjector":
+        """A fresh stateful injector for one network run."""
+        return FaultInjector(self)
+
+    def describe(self) -> dict:
+        """JSON-friendly summary (experiments and CLI reports embed it)."""
+        return {
+            "seed": self.seed,
+            "drop_rate": self.drop_rate,
+            "duplicate_rate": self.duplicate_rate,
+            "reorder_rate": self.reorder_rate,
+            "latency": self.latency,
+            "link_overrides": len(self.link_drop),
+            "crashes": len(self.crash_rounds),
+            "max_skew": self.max_skew,
+        }
+
+
+class FaultInjector:
+    """One run's worth of fate decisions, drawn from the plan's seed.
+
+    The network calls :meth:`deliveries` once per transmitted frame, in
+    its deterministic link iteration order; the injector returns the
+    list of extra delivery delays for every surviving copy (``[]`` means
+    the frame was dropped).  Counters accumulate into :attr:`stats`.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+
+    def crashed(self, node: Node, physical_round: int) -> bool:
+        """Crash-stop check: is ``node`` dead at this physical round?"""
+        crash_at = self.plan.crash_rounds.get(node)
+        return crash_at is not None and physical_round >= crash_at
+
+    def link_drop_rate(self, u: Node, v: Node) -> float:
+        return self.plan.link_drop.get(edge_key(u, v), self.plan.drop_rate)
+
+    def deliveries(self, sender: Node, target: Node) -> list[int]:
+        """Extra-delay list for each delivered copy of one frame.
+
+        Draw order is fixed (drop, then reorder, then duplicate) so a
+        given plan always consumes its RNG identically.
+        """
+        plan = self.plan
+        rate = self.link_drop_rate(sender, target)
+        if rate > 0.0 and self.rng.random() < rate:
+            self.dropped += 1
+            return []
+        delay = plan.latency
+        if plan.reorder_rate > 0.0 and self.rng.random() < plan.reorder_rate:
+            delay += self.rng.randint(1, plan.max_skew)
+            self.delayed += 1
+        copies = [delay]
+        if plan.duplicate_rate > 0.0 and self.rng.random() < plan.duplicate_rate:
+            copies.append(plan.latency + self.rng.randint(1, plan.max_skew))
+            self.duplicated += 1
+        return copies
+
+    def stats(self) -> dict:
+        return {
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+        }

@@ -41,6 +41,8 @@ from typing import Hashable, Iterable, Sequence
 
 import numpy as np
 
+from repro.errors import GraphValidationError
+
 Node = Hashable
 
 __all__ = ["CSRGraph", "DisjointSets", "validate_weights"]
@@ -77,13 +79,14 @@ class DisjointSets:
 def validate_weights(weights, context: str = "graph") -> np.ndarray:
     """One dtype-checked conversion to float64, rejecting bad weights.
 
-    Raises ``ValueError`` naming the offending position for non-numeric,
-    NaN, infinite, or negative entries.
+    Raises :class:`~repro.errors.GraphValidationError` (a ``ValueError``)
+    naming the offending position for non-numeric, NaN, infinite, or
+    negative entries.
     """
     try:
         array = np.asarray(weights, dtype=np.float64)
     except (TypeError, ValueError) as exc:
-        raise ValueError(
+        raise GraphValidationError(
             f"{context}: edge weights must be numeric, got "
             f"{type(weights).__name__} that does not convert to float64 ({exc})"
         ) from None
@@ -92,14 +95,14 @@ def validate_weights(weights, context: str = "graph") -> np.ndarray:
     bad = ~np.isfinite(array)
     if bad.any():
         i = int(np.argmax(bad))
-        raise ValueError(
+        raise GraphValidationError(
             f"{context}: edge weight at position {i} is {array[i]} "
             "(NaN/inf weights are not allowed)"
         )
     negative = array < 0
     if negative.any():
         i = int(np.argmax(negative))
-        raise ValueError(
+        raise GraphValidationError(
             f"{context}: edge weight at position {i} is {array[i]} "
             "(negative weights are not allowed; the paper's model uses "
             "non-negative poly(n) integers)"
@@ -110,7 +113,7 @@ def validate_weights(weights, context: str = "graph") -> np.ndarray:
 def _as_index_array(values, n: int, what: str) -> np.ndarray:
     array = np.asarray(values, dtype=np.int64).reshape(-1)
     if len(array) and (array.min() < 0 or array.max() >= n):
-        raise ValueError(f"{what}: node index out of range [0, {n})")
+        raise GraphValidationError(f"{what}: node index out of range [0, {n})")
     return array
 
 
@@ -134,11 +137,11 @@ class CSRGraph:
         canonical: bool = False,
     ):
         if n < 0:
-            raise ValueError("need a non-negative node count")
+            raise GraphValidationError("need a non-negative node count")
         if nodes is not None:
             nodes = list(nodes)
             if len(nodes) != n:
-                raise ValueError(f"node table has {len(nodes)} labels for n={n}")
+                raise GraphValidationError(f"node table has {len(nodes)} labels for n={n}")
             if all(label == i for i, label in enumerate(nodes)):
                 nodes = None  # identity labels: use the zero-overhead path
         self.n = int(n)
@@ -149,13 +152,13 @@ class CSRGraph:
         u = _as_index_array(edge_u, n, "edge_u")
         v = _as_index_array(edge_v, n, "edge_v")
         if len(u) != len(v):
-            raise ValueError("edge_u and edge_v lengths differ")
+            raise GraphValidationError("edge_u and edge_v lengths differ")
         if edge_w is None:
             w = np.ones(len(u), dtype=np.float64)
         else:
             w = validate_weights(edge_w, context="CSRGraph")
             if len(w) != len(u):
-                raise ValueError("edge weight array length differs from edges")
+                raise GraphValidationError("edge weight array length differs from edges")
 
         if not canonical:
             u, v, w = _canonicalize(u, v, w)
@@ -233,7 +236,7 @@ class CSRGraph:
                 return int(label)
             if label not in index:
                 if not implicit:
-                    raise ValueError(f"unknown node label {label!r}")
+                    raise GraphValidationError(f"unknown node label {label!r}")
                 index[label] = len(labels)
                 labels.append(label)
             return index[label]
@@ -249,7 +252,7 @@ class CSRGraph:
                 max((max(a, b) for a, b in dedup), default=-1) + 1
             )
         elif labels and len(labels) != count:
-            raise ValueError(
+            raise GraphValidationError(
                 f"n={count} disagrees with the {len(labels)} node labels "
                 "appearing in the edge list"
             )
@@ -348,7 +351,7 @@ class CSRGraph:
             elif all(isinstance(x, str) for x in self.nodes):
                 payload["labels"] = np.array(self.nodes)
             else:
-                raise ValueError(
+                raise GraphValidationError(
                     "save_npz supports all-int or all-str node labels; "
                     "relabel the graph before persisting"
                 )
@@ -358,7 +361,7 @@ class CSRGraph:
     def load_npz(cls, path) -> "CSRGraph":
         with np.load(path, allow_pickle=False) as data:
             if "edge_u" not in data or "n" not in data:
-                raise ValueError(f"{path}: not a repro CSR graph file")
+                raise GraphValidationError(f"{path}: not a repro CSR graph file")
             nodes = data["labels"].tolist() if "labels" in data else None
             return cls(
                 int(data["n"]),
@@ -502,7 +505,7 @@ class CSRGraph:
         for source in range(self.n):
             dist = self.bfs_levels(source)
             if (dist < 0).any():
-                raise ValueError("diameter of a disconnected graph")
+                raise GraphValidationError("diameter of a disconnected graph")
             best = max(best, int(dist.max()))
         return best
 
@@ -542,7 +545,7 @@ class CSRGraph:
         """
         component = np.asarray(component, dtype=np.int64).reshape(-1)
         if len(component) != self.n:
-            raise ValueError("component labelling must cover every node")
+            raise GraphValidationError("component labelling must cover every node")
         _uniq, dense = np.unique(component, return_inverse=True)
         cu = dense[self.edge_u]
         cv = dense[self.edge_v]
@@ -566,7 +569,7 @@ class CSRGraph:
         """Same topology, new per-edge weights (canonical order preserved)."""
         w = validate_weights(weights, context="with_weights")
         if len(w) != self.m:
-            raise ValueError("weight array length differs from edge count")
+            raise GraphValidationError("weight array length differs from edge count")
         return CSRGraph(
             self.n, self.edge_u, self.edge_v, w,
             nodes=self.nodes, meta=self.meta, canonical=True,

@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from repro.errors import BudgetExceeded
 from repro.kernel.cut_kernel import GraphArrays
 
 if TYPE_CHECKING:  # pragma: no cover - types only
@@ -70,6 +71,19 @@ def env_batch_bytes() -> int:
 def _chunk_size(n: int, batch_bytes: int | None = None) -> int:
     budget = env_batch_bytes() if batch_bytes is None else batch_bytes
     per_tree = max(1, _BYTES_PER_CELL * (n + 1) * (n + 1))
+    if batch_bytes is not None and per_tree > batch_bytes:
+        # An explicitly pinned budget is a hard commitment: even a
+        # single-tree chunk needs more scratch than allowed, so refuse
+        # instead of silently blowing past it.  (The REPRO_BATCH_BYTES
+        # environment knob stays advisory -- it clamps to 1-tree chunks
+        # as it always has.)  The oracle solver catches this and
+        # degrades to per-tree solves.
+        raise BudgetExceeded(
+            f"one stacked tree at n={n} needs {per_tree} bytes of "
+            f"scratch, over the pinned batch_bytes={batch_bytes}",
+            required_bytes=per_tree,
+            budget_bytes=batch_bytes,
+        )
     return max(1, min(budget, _CACHE_TARGET) // per_tree)
 
 

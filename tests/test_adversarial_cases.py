@@ -152,3 +152,78 @@ class TestStructuredTopologies:
         expected, _ = nx.stoer_wagner(graph)
         result = repro.minimum_cut(graph, seed=n)
         assert result.value == expected
+
+
+class TestAdversarialInputsAcrossSolvers:
+    """Hostile input shapes, swept over every registered solver.
+
+    Each case is checked against the Stoer-Wagner reference value and
+    independently certified -- self-loops and zero-weight edges must not
+    perturb the cut, merged parallel edges must sum, and the trivial
+    n=2 path must behave like any other solve.
+    """
+
+    @staticmethod
+    def _check_all_solvers(graph, expected):
+        from repro.certify import certify_result
+
+        for solver in repro.registered_solvers():
+            result = repro.minimum_cut(
+                graph, seed=2, solver=solver, compute_congest=False
+            )
+            assert result.value == expected, solver
+            certificate = certify_result(graph, result)
+            assert certificate.ok, (solver, certificate.failures)
+
+    def test_self_loops_never_cross(self):
+        graph = nx.cycle_graph(6)
+        for u, v in graph.edges():
+            graph[u][v]["weight"] = 3
+        graph.add_edge(2, 2, weight=7)  # heavy loop must not matter
+        self._check_all_solvers(graph, 6)
+
+    def test_self_loops_on_csr(self):
+        from repro.graphs import CSRGraph
+
+        graph = CSRGraph(
+            6, [0, 1, 2, 3, 4, 5, 2], [1, 2, 3, 4, 5, 0, 2],
+            [3, 3, 3, 3, 3, 3, 7],
+        )
+        self._check_all_solvers(graph, 6)
+
+    def test_zero_weight_edge_is_free_to_cut(self):
+        graph = nx.cycle_graph(6)
+        for u, v in graph.edges():
+            graph[u][v]["weight"] = 4
+        graph.add_edge(0, 3, weight=0)  # a chord that costs nothing
+        self._check_all_solvers(graph, 8)
+
+    def test_parallel_edges_merge_by_weight(self):
+        from repro.graphs import CSRGraph
+
+        graph = CSRGraph(4, [0, 0, 1, 2, 0], [1, 1, 2, 3, 3], [2, 3, 4, 5, 6])
+        assert graph.m == 4  # (0,1) rows merged: 2 + 3
+        assert 5.0 in graph.edge_w.tolist()
+        self._check_all_solvers(graph, 9)  # cut {0}: (0,1)=5 + (0,3)=6 ... min is 9
+
+    def test_near_disconnected_bridge(self):
+        graph = nx.Graph()
+        for base in (0, 5):
+            for i in range(base, base + 5):
+                for j in range(i + 1, base + 5):
+                    graph.add_edge(i, j, weight=40)
+        graph.add_edge(4, 5, weight=1)  # the whisper-thin bridge
+        self._check_all_solvers(graph, 1)
+
+    def test_two_node_graph_on_every_solver(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b", weight=9)
+        self._check_all_solvers(graph, 9)
+
+    def test_reference_agreement_on_hostile_mix(self):
+        """Self-loop + zero-weight + near-bridge in one graph."""
+        graph = random_connected_gnm(14, 24, seed=31, weight_high=20)
+        graph.add_edge(0, 0, weight=50)
+        graph.add_edge(1, 5, weight=0)
+        expected, _ = nx.stoer_wagner(graph)
+        self._check_all_solvers(graph, expected)

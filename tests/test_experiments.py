@@ -24,8 +24,8 @@ def test_experiment_reproduces(name):
 
 
 def test_registry_complete():
-    assert len(ALL_EXPERIMENTS) == 15
-    assert len(set(ALL_EXPERIMENTS)) == 15
+    assert len(ALL_EXPERIMENTS) == 16
+    assert len(set(ALL_EXPERIMENTS)) == 16
     for name in ALL_EXPERIMENTS:
         module = importlib.import_module(f"repro.experiments.{name}")
         assert callable(module.run)
