@@ -10,7 +10,7 @@ perf PRs have a committed baseline to diff against.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_benchmarks.py              # BENCH_PR6.json
+    PYTHONPATH=src python benchmarks/run_benchmarks.py              # BENCH_PR7.json
     PYTHONPATH=src python benchmarks/run_benchmarks.py --out X.json --repeats 5
     PYTHONPATH=src python benchmarks/run_benchmarks.py --compare BENCH_PR2.json
 
@@ -24,6 +24,13 @@ The ``many`` section is the acceptance check of PR 3: on a 50-graph
 small-instance sweep the batched ``minimum_cut_many`` must be >= 2x the
 throughput of looping ``minimum_cut`` with bit-identical results
 (enforced with ``--check``).
+
+The ``profile`` section (PR 7) records the per-phase breakdown of one
+traced end-to-end oracle solve (seconds + peak bytes + paper-rounds per
+phase), and the ``trace_overhead`` section proves the disabled-mode
+instrumentation overhead stays under 2% on the E10 workload (same
+measurement as ``scripts/check_trace_overhead.py``; enforced with
+``--check``).
 
 ``--compare BASELINE.json`` is the regression gate: it exits non-zero when
 any tracked metric (the ``kernel_micro`` timings, plus the ``csr`` and
@@ -306,6 +313,82 @@ def run_many_bench(repeats: int) -> dict:
     return {f"sweep{MANY_COUNT}": row}
 
 
+def run_profile_bench() -> dict:
+    """Per-phase breakdown of one traced end-to-end oracle solve.
+
+    Committed so every BENCH file shows *where* the pipeline spends its
+    time (seconds + peak scratch bytes + paper-rounds per phase), not
+    just the end-to-end total.
+    """
+    from repro.core.mincut import minimum_cut
+    from repro.graphs import csr_random_connected_gnm
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+
+    graph = csr_random_connected_gnm(CSR_E2E_N, CSR_E2E_M, seed=CSR_SEED)
+    obs_trace.clear()
+    obs_metrics.reset()
+    with obs_trace.tracing():
+        result = minimum_cut(
+            graph, seed=CSR_SEED, solver="oracle", compute_congest=False
+        )
+    obs_trace.clear()
+    obs_metrics.reset()
+    profile = result.stats["profile"]
+
+    phases: dict[str, dict] = {}
+
+    def walk(node: dict) -> None:
+        phases[node["path"]] = {
+            "count": node["count"],
+            "seconds": round(node["seconds"], 6),
+            "self_seconds": round(node["self_seconds"], 6),
+            "bytes_peak": node["bytes_peak"],
+            "rounds": node["rounds"],
+        }
+        for child in node["children"]:
+            walk(child)
+
+    for root in profile["tree"]:
+        walk(root)
+    for path, row in phases.items():
+        size = row["bytes_peak"]
+        print(
+            f"  {path:<34} {row['seconds'] * 1e3:8.2f} ms"
+            f"  rounds {row['rounds'] or '-':>8}"
+            + (f"  peak {size:,} B" if size else "")
+        )
+    return {
+        "n": CSR_E2E_N, "m": CSR_E2E_M, "seed": CSR_SEED,
+        "solver": "oracle",
+        "total_seconds": round(profile["total_seconds"], 6),
+        "ledger_rounds": profile["ledger_rounds"],
+        "unattributed_rounds": profile["unattributed_rounds"],
+        "phases": phases,
+    }
+
+
+def run_trace_overhead_bench(repeats: int) -> dict:
+    """Disabled-mode instrumentation overhead (the PR 7 acceptance row)."""
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+    from check_trace_overhead import measure_trace_overhead
+
+    row = measure_trace_overhead(repeats)
+    row["within_budget"] = bool(
+        row["implied_overhead_fraction"] <= row["budget_fraction"]
+    )
+    print(
+        f"  disabled tracing             "
+        f"{row['span_calls']} spans @ {row['span_call_cost_ns']:.0f} ns, "
+        f"{row['metric_ops']} metric ops @ {row['metric_op_cost_ns']:.0f} ns"
+        f"  -> {row['implied_overhead_fraction']:.4%} of "
+        f"{row['workload_best_seconds'] * 1e3:.1f} ms"
+        f"  (budget {row['budget_fraction']:.0%})"
+        f"  within_budget={row['within_budget']}"
+    )
+    return row
+
+
 def _tracked_metrics(payload: dict) -> dict[str, float]:
     """Flat name -> seconds for every regression-gated kernel metric."""
     metrics: dict[str, float] = {}
@@ -375,7 +458,7 @@ def compare_against(baseline_path: str, payload: dict) -> int:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR6.json")
+    parser.add_argument("--out", default="BENCH_PR7.json")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
         "--check",
@@ -401,9 +484,13 @@ def main() -> int:
     csr = run_csr_bench(args.repeats)
     print("many-graph sweep:")
     many = run_many_bench(args.repeats)
+    print("traced-solve profile:")
+    profile = run_profile_bench()
+    print("trace overhead:")
+    trace_overhead = run_trace_overhead_bench(args.repeats)
 
     payload = {
-        "schema": "repro-bench/6",
+        "schema": "repro-bench/7",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "repeats": args.repeats,
@@ -411,6 +498,8 @@ def main() -> int:
         "kernel_micro": micro,
         "csr": csr,
         "many": many,
+        "profile": profile,
+        "trace_overhead": trace_overhead,
     }
     out_path = Path(args.out)
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
@@ -437,6 +526,14 @@ def main() -> int:
     if args.check and not many_fast_enough:
         print(
             f"FAIL: many-graph sweep speedup below {MANY_SPEEDUP_FLOOR}x",
+            file=sys.stderr,
+        )
+        return 1
+    if args.check and not trace_overhead["within_budget"]:
+        print(
+            "FAIL: disabled-mode tracing overhead exceeds "
+            f"{trace_overhead['budget_fraction']:.0%} "
+            f"({trace_overhead['implied_overhead_fraction']:.4%})",
             file=sys.stderr,
         )
         return 1

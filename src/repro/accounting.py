@@ -214,13 +214,31 @@ class RoundAccountant:
             else:
                 self._total += contribution
 
+    def merge(self, *others: "RoundAccountant | dict") -> "RoundAccountant":
+        """Fold other ledgers into this one (sequential composition).
+
+        Accepts :class:`RoundAccountant` instances or ``snapshot()``
+        dicts, so per-graph ledgers from ``minimum_cut_many`` can be
+        aggregated into one sweep-level accountant.  Amounts are
+        absorbed verbatim (already scaled); ``max_message_bits`` takes
+        the maximum.  Returns ``self`` for chaining.
+        """
+        for other in others:
+            if isinstance(other, RoundAccountant):
+                other = other.snapshot()
+            self.absorb(other.get("by_label", {}))
+            self.record_message_bits(int(other.get("max_message_bits", 0)))
+        return self
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
+        """JSON-safe ledger view; ``by_label`` keys are sorted for stable
+        diffs and comparisons across runs."""
         return {
             "total_rounds": self.total,
-            "by_label": self.by_label(),
+            "by_label": dict(sorted(self._by_label.items())),
             "max_message_bits": self.max_message_bits,
         }
 

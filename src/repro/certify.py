@@ -37,6 +37,8 @@ import numpy as np
 
 from repro.errors import CertificationError
 from repro.graphs.csr import CSRGraph, DisjointSets
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.trees.rooted import edge_key
 
 if TYPE_CHECKING:  # pragma: no cover - types only
@@ -99,6 +101,20 @@ def certify_cut(
     for labelled graphs, dense indices otherwise, exactly as results
     report them.
     """
+    with obs_trace.span("certify", value=value):
+        certificate = _certify_cut(graph, partition, value, cut_edges)
+    obs_metrics.counter("certify.audits").inc()
+    if not certificate.ok:
+        obs_metrics.counter("certify.failures").inc()
+    return certificate
+
+
+def _certify_cut(
+    graph,
+    partition,
+    value: float,
+    cut_edges=None,
+) -> Certificate:
     csr = _as_csr(graph)
     labels = csr.node_labels()
     index_of = {label: i for i, label in enumerate(labels)}
@@ -196,9 +212,10 @@ def certify_result(
     if cross_check is not None and certificate.checks.get("partition_consistent"):
         from repro.core.session import MinCutSolver, SolverConfig
 
-        other = MinCutSolver(
-            SolverConfig(solver=cross_check, compute_congest=False)
-        ).solve(graph, seed=seed)
+        with obs_trace.span("certify.cross_check", solver=cross_check):
+            other = MinCutSolver(
+                SolverConfig(solver=cross_check, compute_congest=False)
+            ).solve(graph, seed=seed)
         agree = abs(other.value - result.value) <= _RTOL * max(
             1.0, abs(other.value)
         )

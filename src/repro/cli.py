@@ -7,6 +7,7 @@ Usage (also available as ``python -m repro``):
     python -m repro mincut --family delaunay --n 80 --seed 3 --verbose
     python -m repro mincut --family gnm --solver stoer-wagner
     python -m repro sweep --family gnm --n 24 --count 50 --json out.json
+    python -m repro profile --family gnm --n 60 --solver oracle
     python -m repro generate --family grid --n 49 --out grid.npz
     python -m repro info
 
@@ -245,6 +246,37 @@ def cmd_sweep(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_profile(args) -> int:
+    """Run one traced solve and print the per-phase profile table."""
+    from repro.obs import export_chrome, export_ndjson, render_profile, trace
+
+    config = repro.SolverConfig.from_args(args).replace(trace=True)
+    graph = _build_graph(args)
+    trace.clear()
+    try:
+        result = repro.MinCutSolver(config).solve(graph, seed=args.seed)
+    except (ValueError, ReproError) as error:
+        raise SystemExit(str(error))
+    profile = result.stats.get("profile")
+    if profile is None:
+        raise SystemExit(
+            f"solver {config.solver!r} attached no profile "
+            "(tracing disabled or no spans recorded)"
+        )
+    print(f"min-cut value : {result.value}  (solver={result.solver}, "
+          f"seed={args.seed})")
+    print()
+    print(render_profile(profile))
+    if args.chrome:
+        export_chrome(args.chrome)
+        print(f"\nChrome trace  : {args.chrome} "
+              "(load via chrome://tracing or https://ui.perfetto.dev)")
+    if args.ndjson:
+        export_ndjson(args.ndjson)
+        print(f"NDJSON spans  : {args.ndjson}")
+    return 0
+
+
 def cmd_generate(args) -> int:
     graph = _build_graph(args)
     if args.out and args.out.endswith(".npz"):
@@ -327,6 +359,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--json", help="write the JSON report here")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="run one traced solve and print the per-phase profile "
+             "(seconds + peak bytes + paper-rounds)",
+    )
+    add_graph_args(p_profile)
+    add_solver_args(p_profile)
+    p_profile.add_argument(
+        "--chrome", help="also export the span buffer as a Chrome trace JSON"
+    )
+    p_profile.add_argument(
+        "--ndjson", help="also export the span buffer as NDJSON"
+    )
+    p_profile.set_defaults(func=cmd_profile)
 
     p_gen = sub.add_parser("generate", help="emit a generated edge list")
     add_graph_args(p_gen)

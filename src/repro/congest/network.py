@@ -50,6 +50,8 @@ from repro.accounting import RoundAccountant, log2ceil
 from repro.errors import TransportTimeout
 from repro.graphs.csr import CSRGraph
 from repro.ma.operators import estimate_bits
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.faults import FaultPlan
@@ -182,18 +184,57 @@ class CongestNetwork:
         """
         if max_rounds is None:
             max_rounds = 4 * (self.n + self._edge_count) + 16
-        if faults is not None:
-            runner = self._run_reliable if reliable else self._run_raw
-            return runner(
-                program_factory, max_rounds, faults, accountant,
-                max_physical_rounds,
-            )
-        before = self.rounds_executed
-        contexts = self._run_lossless(program_factory, max_rounds)
-        self.transport = {}
-        if accountant is not None:
-            accountant.charge(self.rounds_executed - before, "congest")
+        rounds_before = self.rounds_executed
+        messages_before = self.messages_sent
+        with obs_trace.span(
+            "congest.run",
+            n=self.n,
+            mode=(
+                "lossless" if faults is None
+                else ("reliable" if reliable else "raw")
+            ),
+            acct=("congest", "congest-retransmit"),
+        ) as sp:
+            if faults is not None:
+                runner = self._run_reliable if reliable else self._run_raw
+                contexts = runner(
+                    program_factory, max_rounds, faults, accountant,
+                    max_physical_rounds,
+                )
+            else:
+                contexts = self._run_lossless(program_factory, max_rounds)
+                self.transport = {}
+                if accountant is not None:
+                    accountant.charge(
+                        self.rounds_executed - rounds_before, "congest"
+                    )
+            self._record_run_metrics(sp, rounds_before, messages_before)
         return contexts
+
+    def _record_run_metrics(
+        self, sp, rounds_before: int, messages_before: int
+    ) -> None:
+        if not obs_trace.enabled():
+            return
+        rounds = self.rounds_executed - rounds_before
+        messages = self.messages_sent - messages_before
+        sp.set(physical_rounds=rounds, messages=messages)
+        obs_metrics.counter("congest.physical_rounds").inc(rounds)
+        obs_metrics.counter("congest.messages").inc(messages)
+        obs_metrics.counter("congest.runs").inc()
+        if self.transport:
+            retrans = int(self.transport.get("retransmissions", 0))
+            frames = int(self.transport.get("frames_sent", 0))
+            sp.set(
+                retransmissions=retrans,
+                frames=frames,
+                inner_rounds=self.transport.get("inner_rounds"),
+            )
+            obs_metrics.counter("congest.retransmissions").inc(retrans)
+            obs_metrics.counter("congest.frames").inc(frames)
+            obs_metrics.histogram("congest.run_physical_rounds").observe(
+                int(self.transport.get("physical_rounds", rounds))
+            )
 
     def _run_lossless(
         self,

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
@@ -79,6 +80,9 @@ from repro.kernel.config import (
 from repro.kernel.cut_kernel import GraphArrays, partition_cut_weight_arrays
 from repro.kernel.forest import stacked_tree_arrays
 from repro.ma.simulation import congest_estimates
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.profile import build_profile
 from repro.trees.rooted import RootedTree, edge_key
 
 __all__ = [
@@ -120,6 +124,13 @@ class SolverConfig:
         meaningful for solvers that execute Minor-Aggregation rounds;
         centralized baselines (``stoer-wagner``, ``karger``) always
         report ``congest=None``.
+    trace:
+        Tri-state observability switch (:mod:`repro.obs`): ``None``
+        inherits the ambient ``REPRO_TRACE`` setting, ``True``/``False``
+        pin span recording on/off for this session's solves.  Enabled
+        solves additionally attach ``stats["profile"]`` (a per-phase
+        table joining seconds, peak array bytes, and paper-rounds);
+        results themselves stay bit-identical either way.
     """
 
     solver: str = "minor-aggregation"
@@ -128,6 +139,7 @@ class SolverConfig:
     tree_kernel: bool | None = None
     batch_bytes: int | None = None
     compute_congest: bool = True
+    trace: bool | None = None
 
     def __post_init__(self):
         if self.backend not in _BACKENDS:
@@ -148,9 +160,10 @@ class SolverConfig:
     ) -> "SolverConfig":
         """Capture the ``REPRO_*`` environment knobs into an explicit config.
 
-        ``REPRO_TREE_KERNEL`` and ``REPRO_BATCH_BYTES`` become
-        ``tree_kernel`` / ``batch_bytes`` (absent or unparsable values
-        stay ``None`` = inherit at run time); keyword overrides win.
+        ``REPRO_TREE_KERNEL``, ``REPRO_BATCH_BYTES``, and ``REPRO_TRACE``
+        become ``tree_kernel`` / ``batch_bytes`` / ``trace`` (absent or
+        unparsable values stay ``None`` = inherit at run time); keyword
+        overrides win.
         """
         env = os.environ if env is None else env
         fields: dict = {}
@@ -163,6 +176,9 @@ class SolverConfig:
                 fields["batch_bytes"] = int(raw)
             except ValueError:
                 pass
+        raw = env.get("REPRO_TRACE")
+        if raw is not None:
+            fields["trace"] = obs_trace.parse_trace_flag(raw)
         fields.update(overrides)
         return cls(**fields)
 
@@ -199,6 +215,11 @@ class SolverConfig:
         if self.tree_kernel is None:
             return nullcontext()
         return use_kernel() if self.tree_kernel else use_legacy()
+
+    def _trace_scope(self):
+        if self.trace is None:
+            return nullcontext()
+        return obs_trace.tracing(self.trace)
 
 
 class GraphPacking:
@@ -252,13 +273,16 @@ class GraphPacking:
             acct = self._origin_acct or RoundAccountant()
             self._origin_acct = acct
             before = acct.by_label()
-            with self.config._kernel_scope():
-                self._packing = pack_trees(
-                    self.graph,
-                    seed=self.seed,
-                    num_trees=self.num_trees,
-                    accountant=acct,
-                )
+            with self.config._kernel_scope(), self.config._trace_scope():
+                with obs_trace.span(
+                    "session.pack", seed=self.seed, acct_prefix="packing:"
+                ):
+                    self._packing = pack_trees(
+                        self.graph,
+                        seed=self.seed,
+                        num_trees=self.num_trees,
+                        accountant=acct,
+                    )
             after = acct.by_label()
             self._packing_charges = {
                 label: after[label] - before.get(label, 0.0)
@@ -274,10 +298,12 @@ class GraphPacking:
         historical pipeline)."""
         if self._arrays is None:
             self.packing  # noqa: B018 -- packing errors surface first
-            if self.csr is not None:
-                self._arrays = GraphArrays.from_csr(self.csr)
-            else:
-                self._arrays = GraphArrays.from_graph(self.graph)
+            with obs_trace.span("session.arrays") as sp:
+                if self.csr is not None:
+                    self._arrays = GraphArrays.from_csr(self.csr)
+                else:
+                    self._arrays = GraphArrays.from_graph(self.graph)
+                sp.set(bytes=self._arrays.nbytes)
         return self._arrays
 
     @property
@@ -344,17 +370,39 @@ class GraphPacking:
                 num_trees=self.num_trees,
                 accountant=accountant,
             )
-        ctx = SolveContext(
-            accountant=self._solve_accountant(accountant, entry),
-            compute_congest=(
-                self.config.compute_congest
-                if compute_congest is None
-                else compute_congest
-            ),
-            solver=name,
-        )
-        with self.config._kernel_scope():
-            return entry.fn(self, ctx)
+        with self.config._trace_scope():
+            # Mark before the accountant setup: it triggers the lazy
+            # packing, whose spans belong in this solve's profile.
+            position = obs_trace.mark() if obs_trace.enabled() else None
+            ctx = SolveContext(
+                accountant=self._solve_accountant(accountant, entry),
+                compute_congest=(
+                    self.config.compute_congest
+                    if compute_congest is None
+                    else compute_congest
+                ),
+                solver=name,
+            )
+            if position is None:
+                with self.config._kernel_scope():
+                    return entry.fn(self, ctx)
+            n = self.csr.n if self.csr is not None else None
+            with obs_trace.span(
+                "session.solve", solver=name, seed=self.seed, n=n
+            ) as root:
+                with self.config._kernel_scope():
+                    result = entry.fn(self, ctx)
+            # Everything this thread recorded during the solve (the pack
+            # subtree is a sibling of the root span, not a child).
+            spans = [
+                record
+                for record in obs_trace.records_since(position)
+                if record.thread_id == root.thread_id
+            ]
+            result.stats["profile"] = build_profile(
+                spans, ctx.accountant, dropped=obs_trace.dropped()
+            )
+            return result
 
     def _solve_accountant(
         self, accountant: RoundAccountant | None, entry: SolverEntry
@@ -566,6 +614,27 @@ def _finalize_candidates(
     solver_name: str,
     solve_stats=None,
 ) -> MinCutResult:
+    with obs_trace.span(
+        "session.finalize", solver=solver_name, trees=len(candidates)
+    ):
+        return _finalize_candidates_inner(
+            graph, csr, arrays, packing, rooted_for, candidates, acct,
+            compute_congest, solver_name, solve_stats,
+        )
+
+
+def _finalize_candidates_inner(
+    graph,
+    csr: CSRGraph | None,
+    arrays: GraphArrays,
+    packing,
+    rooted_for,
+    candidates: Sequence[CutCandidate],
+    acct: RoundAccountant,
+    compute_congest: bool,
+    solver_name: str,
+    solve_stats=None,
+) -> MinCutResult:
     best: CutCandidate | None = None
     best_index = -1
     for index, candidate in enumerate(candidates):
@@ -651,10 +720,18 @@ def _solve_minor_aggregation(packed: GraphPacking, ctx: SolveContext) -> MinCutR
     acct = ctx.accountant
     candidates: list[CutCandidate] = []
     solve_stats = None
-    for rooted in packed.rooted_trees:
-        result = two_respecting_min_cut(
-            base_graph, rooted, accountant=acct, arrays=arrays
-        )
+    for index, rooted in enumerate(packed.rooted_trees):
+        with obs_trace.span(
+            "ma.two_respecting",
+            tree=index,
+            acct_prefix=(
+                "general:", "one-respecting", "path-to-path:",
+                "star:", "subtree:",
+            ),
+        ):
+            result = two_respecting_min_cut(
+                base_graph, rooted, accountant=acct, arrays=arrays
+            )
         candidates.append(result.best)
         solve_stats = result.stats
     return packed.finalize(candidates, ctx, solve_stats=solve_stats)
@@ -668,6 +745,7 @@ def _solve_oracle(packed: GraphPacking, ctx: SolveContext) -> MinCutResult:
     use_kernel_path = packed.csr is not None or kernel_enabled()
     degraded = None
     if use_kernel_path:
+        started = time.perf_counter()
         try:
             # All Θ(log n) per-tree solves batched over stacked kernel arrays.
             candidates = batched_two_respecting_oracle(
@@ -679,14 +757,21 @@ def _solve_oracle(packed: GraphPacking, ctx: SolveContext) -> MinCutResult:
             # Automatic degradation: the stacked tensor does not fit the
             # scratch budget (or the allocator), so give up on batching
             # and solve tree by tree -- same candidates, just slower.
-            candidates = [
-                two_respecting_oracle(packed.graph, rooted, arrays=packed.arrays)
-                for rooted in packed.rooted_trees
-            ]
+            failed_phase = obs_trace.last_error_span() or "oracle.batched"
+            obs_metrics.counter("session.degraded").inc()
+            with obs_trace.span("oracle.per_tree_fallback", reason=str(exc)):
+                candidates = [
+                    two_respecting_oracle(
+                        packed.graph, rooted, arrays=packed.arrays
+                    )
+                    for rooted in packed.rooted_trees
+                ]
             degraded = {
                 "from": "batched-oracle",
                 "to": "per-tree-oracle",
                 "reason": f"{type(exc).__name__}: {exc}",
+                "phase": failed_phase,
+                "seconds": time.perf_counter() - started,
             }
     else:
         candidates = [
@@ -750,6 +835,12 @@ class SweepFailure:
     message: str
     solver: str
 
+    #: wall-clock seconds spent on this graph before it failed.
+    seconds: float = 0.0
+    #: innermost trace span active when the error surfaced (requires
+    #: tracing; falls back to the sweep stage name when disabled).
+    phase: "str | None" = None
+
     ok: bool = False
 
     def as_dict(self) -> dict:
@@ -760,11 +851,17 @@ class SweepFailure:
             "error": self.error,
             "message": self.message,
             "solver": self.solver,
+            "seconds": self.seconds,
+            "phase": self.phase,
             "ok": self.ok,
         }
 
 
-def _sweep_failure(index, seed, stage, exc, solver) -> SweepFailure:
+def _sweep_failure(
+    index, seed, stage, exc, solver, seconds: float = 0.0
+) -> SweepFailure:
+    obs_metrics.counter("sweep.failures").inc()
+    obs_metrics.counter(f"sweep.failures.{stage}").inc()
     return SweepFailure(
         index=index,
         seed=seed,
@@ -772,6 +869,8 @@ def _sweep_failure(index, seed, stage, exc, solver) -> SweepFailure:
         error=type(exc).__name__,
         message=str(exc),
         solver=solver,
+        seconds=seconds,
+        phase=obs_trace.last_error_span() or stage,
     )
 
 
@@ -827,19 +926,58 @@ def minimum_cut_many(
             )
     get_solver(cfg.solver)  # unknown names fail before any work
 
+    with cfg._trace_scope():
+        if not obs_trace.enabled():
+            return _sweep_impl(graphs, seed_list, cfg, strict, certify)
+        position = obs_trace.mark()
+        with obs_trace.span(
+            "sweep.run", graphs=len(graphs), solver=cfg.solver
+        ) as root:
+            results = _sweep_impl(graphs, seed_list, cfg, strict, certify)
+        # One sweep-level profile: the sweep's span tree joined with the
+        # union of every successful per-graph round ledger.
+        spans = [
+            record
+            for record in obs_trace.records_since(position)
+            if record.thread_id == root.thread_id
+        ]
+        merged = RoundAccountant().merge(
+            *(
+                result.stats.get("accountant", {})
+                for result in results
+                if isinstance(result, MinCutResult)
+            )
+        )
+        sweep_profile = build_profile(
+            spans, merged, dropped=obs_trace.dropped()
+        )
+        for result in results:
+            if isinstance(result, MinCutResult):
+                result.stats["sweep_profile"] = sweep_profile
+        return results
+
+
+def _sweep_impl(
+    graphs: list,
+    seed_list: "list[int]",
+    cfg: SolverConfig,
+    strict: bool,
+    certify: bool,
+) -> "list[MinCutResult | SweepFailure]":
     results: "list[MinCutResult | SweepFailure | None]" = [None] * len(graphs)
     valid: list[int] = []
-    for index, graph in enumerate(graphs):
-        try:
-            _validate_graph(graph)
-        except Exception as exc:
-            if strict:
-                raise
-            results[index] = _sweep_failure(
-                index, seed_list[index], "validate", exc, cfg.solver
-            )
-        else:
-            valid.append(index)
+    with obs_trace.span("sweep.validate", graphs=len(graphs)):
+        for index, graph in enumerate(graphs):
+            try:
+                _validate_graph(graph)
+            except Exception as exc:
+                if strict:
+                    raise
+                results[index] = _sweep_failure(
+                    index, seed_list[index], "validate", exc, cfg.solver
+                )
+            else:
+                valid.append(index)
 
     batched = [
         index
@@ -854,13 +992,15 @@ def minimum_cut_many(
     batched_set = set(batched)
 
     def solve_one(index: int, degraded: "dict | None" = None):
+        started = time.perf_counter()
         try:
             result = session.solve(graphs[index], seed=seed_list[index])
         except Exception as exc:
             if strict:
                 raise
             return _sweep_failure(
-                index, seed_list[index], "solve", exc, cfg.solver
+                index, seed_list[index], "solve", exc, cfg.solver,
+                seconds=time.perf_counter() - started,
             )
         if degraded is not None and "degraded" not in result.stats:
             result.stats["degraded"] = degraded
@@ -870,6 +1010,7 @@ def minimum_cut_many(
         if index not in batched_set:
             results[index] = solve_one(index)
     if batched:
+        started = time.perf_counter()
         try:
             sweep = _solve_many_oracle(
                 [graphs[i] for i in batched],
@@ -881,10 +1022,13 @@ def minimum_cut_many(
                 raise
             # The fused sweep shares arrays across graphs, so one bad
             # graph can sink the batch; retry each member in isolation.
+            obs_metrics.counter("sweep.fused_batch_failures").inc()
             degraded = {
                 "from": "fused-oracle-sweep",
                 "to": "per-graph-session",
                 "reason": f"{type(exc).__name__}: {exc}",
+                "phase": obs_trace.last_error_span() or "sweep.oracle",
+                "seconds": time.perf_counter() - started,
             }
             sweep = [solve_one(i, degraded=dict(degraded)) for i in batched]
         for index, result in zip(batched, sweep):
@@ -896,11 +1040,14 @@ def minimum_cut_many(
         for index, result in enumerate(results):
             if not isinstance(result, MinCutResult):
                 continue
+            started = time.perf_counter()
             certificate = certify_result(graphs[index], result)
             result.stats["certificate"] = certificate.as_dict()
             if not certificate.ok:
                 if strict:
                     certificate.raise_if_failed()
+                obs_metrics.counter("sweep.failures").inc()
+                obs_metrics.counter("sweep.failures.certify").inc()
                 results[index] = SweepFailure(
                     index=index,
                     seed=seed_list[index],
@@ -908,6 +1055,8 @@ def minimum_cut_many(
                     error="CertificationError",
                     message="; ".join(certificate.failures),
                     solver=cfg.solver,
+                    seconds=time.perf_counter() - started,
+                    phase=obs_trace.last_error_span() or "certify",
                 )
     return results  # type: ignore[return-value]
 
@@ -925,9 +1074,12 @@ def _solve_many_oracle(
                     f"{components} connected components"
                 )
 
-        many = pack_trees_many(
-            graphs, seeds, num_trees=cfg.num_trees
-        )
+        with obs_trace.span(
+            "sweep.pack_many", graphs=len(graphs), acct_prefix="packing:"
+        ):
+            many = pack_trees_many(
+                graphs, seeds, num_trees=cfg.num_trees
+            )
 
         # Stage 2: stacked BFS/Euler arrays -- all trees of all graphs
         # with a common node count share one level-synchronous build.
@@ -943,7 +1095,8 @@ def _solve_many_oracle(
                 )
             else:
                 roots.append(0)
-        stacks = _build_stacks(graphs, many.tree_edge_arrays, roots)
+        with obs_trace.span("sweep.stacks", graphs=len(graphs)):
+            stacks = _build_stacks(graphs, many.tree_edge_arrays, roots)
 
         # Stage 3: one chunked stacked-tensor oracle pass over the sweep.
         arrays_list = [GraphArrays.from_csr(graph) for graph in graphs]
@@ -953,9 +1106,10 @@ def _solve_many_oracle(
             )
             for g in range(len(graphs))
         ]
-        solved = batched_two_respecting_oracle_many(
-            jobs, batch_bytes=cfg.batch_bytes
-        )
+        with obs_trace.span("sweep.oracle", graphs=len(graphs)):
+            solved = batched_two_respecting_oracle_many(
+                jobs, batch_bytes=cfg.batch_bytes
+            )
 
         # Stage 4: per-graph candidate decode + witness extraction.
         results = []

@@ -44,6 +44,7 @@ from repro.accounting import RoundAccountant, log2ceil
 from repro.graphs.csr import CSRGraph, DisjointSets
 from repro.ma.boruvka import boruvka_mst
 from repro.ma.engine import MinorAggregationEngine
+from repro.obs import trace as obs_trace
 from repro.trees.rooted import Edge, _node_sort_key, edge_key
 
 
@@ -147,7 +148,10 @@ def pack_trees(
     if approx_cut_value is None:
         from repro.baselines.stoer_wagner import stoer_wagner_min_cut
 
-        approx_cut_value, _partition = stoer_wagner_min_cut(graph)
+        with obs_trace.span(
+            "pack.approx_min_cut", n=n, acct="packing:approx-min-cut"
+        ):
+            approx_cut_value, _partition = stoer_wagner_min_cut(graph)
         # The distributed stand-in: Õ(1) Minor-Aggregation rounds [GH16].
         acct.charge(log2ceil(n) ** 2, "packing:approx-min-cut")
 
@@ -157,14 +161,18 @@ def pack_trees(
     sampled = False
     probability: float | None = None
     if approx_cut_value > 2 * target:
-        probability = min(1.0, target / approx_cut_value)
-        for _attempt in range(6):
-            candidate = _sample_multiplicities(graph, probability, rng)
-            if candidate.number_of_nodes() == n and nx.is_connected(candidate):
-                packing_graph = candidate
-                sampled = True
-                break
-            probability = min(1.0, 2 * probability)
+        with obs_trace.span("pack.sampling", n=n, acct="packing:sampling"):
+            probability = min(1.0, target / approx_cut_value)
+            for _attempt in range(6):
+                candidate = _sample_multiplicities(graph, probability, rng)
+                if (
+                    candidate.number_of_nodes() == n
+                    and nx.is_connected(candidate)
+                ):
+                    packing_graph = candidate
+                    sampled = True
+                    break
+                probability = min(1.0, 2 * probability)
         acct.charge(1, "packing:sampling")
 
     # Regime (A): greedy packing with relative loads, MSTs via Boruvka.
@@ -180,23 +188,29 @@ def pack_trees(
     trees: list[nx.Graph] = []
     seen: set[frozenset] = set()
     duplicates = 0
-    for _iteration in range(num_trees):
-        mst_edges = boruvka_mst(engine, edge_cost=load, label="packing:boruvka")
-        for edge in mst_edges:
-            uses[edge] += 1
-        signature = frozenset(mst_edges)
-        if signature in seen:
-            duplicates += 1
-            continue
-        seen.add(signature)
-        tree = nx.Graph()
-        tree.add_nodes_from(graph.nodes())
-        # Deterministic insertion order: the adjacency (and hence every
-        # downstream BFS / preorder) must not depend on set iteration
-        # order, so both execution paths root identical trees.
-        for u, v in sorted(mst_edges, key=_edge_order_key):
-            tree.add_edge(u, v, weight=graph[u][v].get("weight", 1))
-        trees.append(tree)
+    with obs_trace.span(
+        "pack.boruvka", n=n, iterations=num_trees, acct="packing:boruvka"
+    ):
+        for _iteration in range(num_trees):
+            mst_edges = boruvka_mst(
+                engine, edge_cost=load, label="packing:boruvka"
+            )
+            for edge in mst_edges:
+                uses[edge] += 1
+            signature = frozenset(mst_edges)
+            if signature in seen:
+                duplicates += 1
+                continue
+            seen.add(signature)
+            tree = nx.Graph()
+            tree.add_nodes_from(graph.nodes())
+            # Deterministic insertion order: the adjacency (and hence
+            # every downstream BFS / preorder) must not depend on set
+            # iteration order, so both execution paths root identical
+            # trees.
+            for u, v in sorted(mst_edges, key=_edge_order_key):
+                tree.add_edge(u, v, weight=graph[u][v].get("weight", 1))
+            trees.append(tree)
     return TreePacking(
         trees=trees,
         sampled=sampled,
@@ -228,7 +242,10 @@ def _pack_trees_csr(
     if approx_cut_value is None:
         from repro.baselines.stoer_wagner import stoer_wagner_min_cut
 
-        approx_cut_value, _partition = stoer_wagner_min_cut(graph)
+        with obs_trace.span(
+            "pack.approx_min_cut", n=n, acct="packing:approx-min-cut"
+        ):
+            approx_cut_value, _partition = stoer_wagner_min_cut(graph)
         acct.charge(log2ceil(n) ** 2, "packing:approx-min-cut")
 
     target = 24.0 * max(1.0, math.log(n))
@@ -236,14 +253,15 @@ def _pack_trees_csr(
     sampled = False
     probability: float | None = None
     if approx_cut_value > 2 * target:
-        probability = min(1.0, target / approx_cut_value)
-        for _attempt in range(6):
-            candidate = _sample_multiplicities_csr(graph, probability, rng)
-            if candidate.is_connected():
-                packing_graph = candidate
-                sampled = True
-                break
-            probability = min(1.0, 2 * probability)
+        with obs_trace.span("pack.sampling", n=n, acct="packing:sampling"):
+            probability = min(1.0, target / approx_cut_value)
+            for _attempt in range(6):
+                candidate = _sample_multiplicities_csr(graph, probability, rng)
+                if candidate.is_connected():
+                    packing_graph = candidate
+                    sampled = True
+                    break
+                probability = min(1.0, 2 * probability)
         acct.charge(1, "packing:sampling")
 
     eu, ev = packing_graph.edge_u, packing_graph.edge_v
@@ -266,29 +284,33 @@ def _pack_trees_csr(
     trees: list[dict[int, list[int]]] = []
     seen: set[frozenset] = set()
     duplicates = 0
-    for _iteration in range(num_trees):
-        cost = uses / multiplicity
-        mst_ids = _boruvka_csr(
-            n, eu, ev, cost, str_rank, acct, "packing:boruvka"
-        )
-        uses[mst_ids] += 1
-        signature = frozenset(mst_ids.tolist())
-        if signature in seen:
-            duplicates += 1
-            continue
-        seen.add(signature)
-        # Insert tree edges in the label-space edge_key order the
-        # networkx path uses, so the BFS adjacency sequences (and hence
-        # every preorder downstream) correspond 1:1 across paths.
-        chosen = sorted(
-            mst_ids.tolist(), key=lambda e: _edge_order_key(canonical[e])
-        )
-        adjacency: dict[int, list[int]] = {v: [] for v in range(n)}
-        for e in chosen:
-            u, v = int(eu[e]), int(ev[e])
-            adjacency[u].append(v)
-            adjacency[v].append(u)
-        trees.append(adjacency)
+    with obs_trace.span(
+        "pack.boruvka", n=n, iterations=num_trees, acct="packing:boruvka"
+    ):
+        for _iteration in range(num_trees):
+            cost = uses / multiplicity
+            mst_ids = _boruvka_csr(
+                n, eu, ev, cost, str_rank, acct, "packing:boruvka"
+            )
+            uses[mst_ids] += 1
+            signature = frozenset(mst_ids.tolist())
+            if signature in seen:
+                duplicates += 1
+                continue
+            seen.add(signature)
+            # Insert tree edges in the label-space edge_key order the
+            # networkx path uses, so the BFS adjacency sequences (and
+            # hence every preorder downstream) correspond 1:1 across
+            # paths.
+            chosen = sorted(
+                mst_ids.tolist(), key=lambda e: _edge_order_key(canonical[e])
+            )
+            adjacency: dict[int, list[int]] = {v: [] for v in range(n)}
+            for e in chosen:
+                u, v = int(eu[e]), int(ev[e])
+                adjacency[u].append(v)
+                adjacency[v].append(u)
+            trees.append(adjacency)
     return TreePacking(
         trees=trees,
         sampled=sampled,
@@ -361,7 +383,10 @@ def pack_trees_many(
 
         from repro.baselines.stoer_wagner import stoer_wagner_min_cut
 
-        approx_cut_value, _partition = stoer_wagner_min_cut(graph)
+        with obs_trace.span(
+            "pack.approx_min_cut", n=n, acct="packing:approx-min-cut"
+        ):
+            approx_cut_value, _partition = stoer_wagner_min_cut(graph)
         acct.charge(log2ceil(n) ** 2, "packing:approx-min-cut")
 
         target = 24.0 * max(1.0, math.log(n))
@@ -369,14 +394,19 @@ def pack_trees_many(
         sampled = False
         probability: float | None = None
         if approx_cut_value > 2 * target:
-            probability = min(1.0, target / approx_cut_value)
-            for _attempt in range(6):
-                candidate = _sample_multiplicities_csr(graph, probability, rng)
-                if candidate.is_connected():
-                    packing_graph = candidate
-                    sampled = True
-                    break
-                probability = min(1.0, 2 * probability)
+            with obs_trace.span(
+                "pack.sampling", n=n, acct="packing:sampling"
+            ):
+                probability = min(1.0, target / approx_cut_value)
+                for _attempt in range(6):
+                    candidate = _sample_multiplicities_csr(
+                        graph, probability, rng
+                    )
+                    if candidate.is_connected():
+                        packing_graph = candidate
+                        sampled = True
+                        break
+                    probability = min(1.0, 2 * probability)
             acct.charge(1, "packing:sampling")
 
         eu, ev = packing_graph.edge_u, packing_graph.edge_v
@@ -431,65 +461,71 @@ def pack_trees_many(
     phases_arr = np.array([st["phases"] for st in states], dtype=np.int64)
 
     for iteration in range(int(counts.max(initial=0))):
-        iter_active = counts > iteration
-        cost = uses / all_mult
-        # Graph-major positions: within each graph the (cost, str) order
-        # is exactly the serial per-graph lexsort, and per-component
-        # minima never compare positions across graphs.
-        order = np.lexsort((all_rank, cost, gid))
-        position = np.empty(m_total, dtype=np.int64)
-        position[order] = np.arange(m_total, dtype=np.int64)
+        with obs_trace.span(
+            "pack.boruvka",
+            iteration=iteration,
+            graphs=count_of,
+            acct="packing:boruvka",
+        ):
+            iter_active = counts > iteration
+            cost = uses / all_mult
+            # Graph-major positions: within each graph the (cost, str) order
+            # is exactly the serial per-graph lexsort, and per-component
+            # minima never compare positions across graphs.
+            order = np.lexsort((all_rank, cost, gid))
+            position = np.empty(m_total, dtype=np.int64)
+            position[order] = np.arange(m_total, dtype=np.int64)
 
-        comp = np.arange(n_total, dtype=np.int64)
-        in_tree = np.zeros(m_total, dtype=bool)
-        running = iter_active.copy()
-        boruvka_phases = np.zeros(count_of, dtype=np.int64)
-        for phase in range(int(phases_arr[iter_active].max(initial=0))):
-            running &= phase < phases_arr
-            if not running.any():
-                break
-            boruvka_phases += running  # serial charges before its breaks
-            cu = comp[all_eu]
-            cv = comp[all_ev]
-            outgoing = (cu != cv) & running[gid]
-            og_counts = np.bincount(gid[outgoing], minlength=count_of)
-            running &= og_counts > 0  # per-graph "no outgoing" break
-            if not outgoing.any():
-                continue
-            best = np.full(n_total, sentinel, dtype=np.int64)
-            np.minimum.at(best, cu[outgoing], position[outgoing])
-            np.minimum.at(best, cv[outgoing], position[outgoing])
-            # Serial dedups winners via np.unique and re-checks for fresh
-            # edges, but an outgoing edge can never already be in a tree
-            # (its endpoints would share a component), so the duplicate
-            # winners are harmless here (idempotent scatter, commutative
-            # merge) and the serial "no fresh edges" break is dead code.
-            fresh = order[best[best < sentinel]]
-            in_tree[fresh] = True
-            comp = _merge_components(comp, all_eu[fresh], all_ev[fresh])
-        # Inactive graphs selected no edges this iteration, so one global
-        # add updates exactly the serial per-graph ``uses[mst_ids] += 1``.
-        uses += in_tree
-        for g in np.nonzero(iter_active)[0]:
-            accts[g].charge(int(boruvka_phases[g]), "packing:boruvka")
-            st = states[g]
-            local_mask = in_tree[int(edge_off[g]):int(edge_off[g + 1])]
-            # The boolean mask is a faithful stand-in for the serial
-            # frozenset-of-edge-ids signature: equal masks <=> equal sets.
-            signature = local_mask.tobytes()
-            if signature in st["seen"]:
-                st["duplicates"] += 1
-                continue
-            st["seen"].add(signature)
-            chosen_local = st["canon_order"][local_mask[st["canon_order"]]]
-            eu_l, ev_l = st["eu_list"], st["ev_list"]
-            adjacency: dict[int, list[int]] = {v: [] for v in range(st["n"])}
-            for e in chosen_local.tolist():
-                u, v = eu_l[e], ev_l[e]
-                adjacency[u].append(v)
-                adjacency[v].append(u)
-            st["trees"].append(adjacency)
-            st["tree_edges"].append((st["eu"][chosen_local], st["ev"][chosen_local]))
+            comp = np.arange(n_total, dtype=np.int64)
+            in_tree = np.zeros(m_total, dtype=bool)
+            running = iter_active.copy()
+            boruvka_phases = np.zeros(count_of, dtype=np.int64)
+            for phase in range(int(phases_arr[iter_active].max(initial=0))):
+                running &= phase < phases_arr
+                if not running.any():
+                    break
+                boruvka_phases += running  # serial charges before its breaks
+                cu = comp[all_eu]
+                cv = comp[all_ev]
+                outgoing = (cu != cv) & running[gid]
+                og_counts = np.bincount(gid[outgoing], minlength=count_of)
+                running &= og_counts > 0  # per-graph "no outgoing" break
+                if not outgoing.any():
+                    continue
+                best = np.full(n_total, sentinel, dtype=np.int64)
+                np.minimum.at(best, cu[outgoing], position[outgoing])
+                np.minimum.at(best, cv[outgoing], position[outgoing])
+                # Serial dedups winners via np.unique and re-checks for fresh
+                # edges, but an outgoing edge can never already be in a tree
+                # (its endpoints would share a component), so the duplicate
+                # winners are harmless here (idempotent scatter, commutative
+                # merge) and the serial "no fresh edges" break is dead code.
+                fresh = order[best[best < sentinel]]
+                in_tree[fresh] = True
+                comp = _merge_components(comp, all_eu[fresh], all_ev[fresh])
+            # Inactive graphs selected no edges this iteration, so one global
+            # add updates exactly the serial per-graph ``uses[mst_ids] += 1``.
+            uses += in_tree
+            for g in np.nonzero(iter_active)[0]:
+                accts[g].charge(int(boruvka_phases[g]), "packing:boruvka")
+                st = states[g]
+                local_mask = in_tree[int(edge_off[g]):int(edge_off[g + 1])]
+                # The boolean mask is a faithful stand-in for the serial
+                # frozenset-of-edge-ids signature: equal masks <=> equal sets.
+                signature = local_mask.tobytes()
+                if signature in st["seen"]:
+                    st["duplicates"] += 1
+                    continue
+                st["seen"].add(signature)
+                chosen_local = st["canon_order"][local_mask[st["canon_order"]]]
+                eu_l, ev_l = st["eu_list"], st["ev_list"]
+                adjacency: dict[int, list[int]] = {v: [] for v in range(st["n"])}
+                for e in chosen_local.tolist():
+                    u, v = eu_l[e], ev_l[e]
+                    adjacency[u].append(v)
+                    adjacency[v].append(u)
+                st["trees"].append(adjacency)
+                st["tree_edges"].append((st["eu"][chosen_local], st["ev"][chosen_local]))
 
     packings = [
         TreePacking(

@@ -44,6 +44,8 @@ import numpy as np
 
 from repro.errors import BudgetExceeded
 from repro.kernel.cut_kernel import GraphArrays
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.core.cut_values import CutCandidate
@@ -210,21 +212,24 @@ def batched_two_respecting_oracle(
         kernels = [tree.kernel for tree in batch]
         c = len(kernels)
         m = len(weights)
+        scratch = _BYTES_PER_CELL * c * (n + 1) * (n + 1)
+        obs_metrics.histogram("oracle.chunk_trees").observe(c)
+        obs_metrics.histogram("oracle.chunk_bytes").observe(scratch)
+        with obs_trace.span("oracle.chunk", trees=c, n=n, bytes=scratch):
+            # (c, n) stacked kernel arrays; the remap row of tree t sends
+            # the graph's node positions onto t's dense indices.
+            remap = np.stack([arrays.tree_remap(k) for k in kernels])
+            tin = np.stack([k.tin for k in kernels])
+            tout = np.stack([k.tout for k in kernels])
 
-        # (c, n) stacked kernel arrays; the remap row of tree t sends the
-        # graph's node positions onto t's dense indices.
-        remap = np.stack([arrays.tree_remap(k) for k in kernels])
-        tin = np.stack([k.tin for k in kernels])
-        tout = np.stack([k.tout for k in kernels])
-
-        # (c, m) per-tree Euler times of every edge endpoint, flattened
-        # into tree-major COO deposits.
-        ut = np.take_along_axis(tin, remap[:, u_pos], axis=1)
-        vt = np.take_along_axis(tin, remap[:, v_pos], axis=1)
-        dep_t = np.repeat(np.arange(c, dtype=np.int64), m)
-        values, flat = _solve_stacked(
-            tin, tout, dep_t, ut.ravel(), vt.ravel(), np.tile(weights, c)
-        )
+            # (c, m) per-tree Euler times of every edge endpoint,
+            # flattened into tree-major COO deposits.
+            ut = np.take_along_axis(tin, remap[:, u_pos], axis=1)
+            vt = np.take_along_axis(tin, remap[:, v_pos], axis=1)
+            dep_t = np.repeat(np.arange(c, dtype=np.int64), m)
+            values, flat = _solve_stacked(
+                tin, tout, dep_t, ut.ravel(), vt.ravel(), np.tile(weights, c)
+            )
         for t, tree in enumerate(batch):
             candidates.append(
                 candidate_from_flat(
@@ -335,14 +340,24 @@ def batched_two_respecting_oracle_many(
                     cursor += 1
                 else:
                     stream[cursor] = (j, lo + take, hi)
-            values, flat = _solve_stacked(
-                np.concatenate(tin_rows),
-                np.concatenate(tout_rows),
-                np.concatenate(dep_t_parts),
-                np.concatenate(dep_a_parts),
-                np.concatenate(dep_b_parts),
-                np.concatenate(dep_w_parts),
-            )
+            scratch = _BYTES_PER_CELL * filled * (n + 1) * (n + 1)
+            obs_metrics.histogram("oracle.chunk_trees").observe(filled)
+            obs_metrics.histogram("oracle.chunk_bytes").observe(scratch)
+            with obs_trace.span(
+                "oracle.chunk",
+                trees=filled,
+                n=n,
+                bytes=scratch,
+                jobs=len(segments),
+            ):
+                values, flat = _solve_stacked(
+                    np.concatenate(tin_rows),
+                    np.concatenate(tout_rows),
+                    np.concatenate(dep_t_parts),
+                    np.concatenate(dep_a_parts),
+                    np.concatenate(dep_b_parts),
+                    np.concatenate(dep_w_parts),
+                )
             row = 0
             for j, take in segments:
                 values_parts[j].append(values[row:row + take])

@@ -86,6 +86,13 @@ class GraphArrays:
             )
         self.identity_nodes = identity_nodes
 
+    @property
+    def nbytes(self) -> int:
+        """Array-buffer footprint (profiling: ``session.arrays`` spans)."""
+        return int(
+            self.u_pos.nbytes + self.v_pos.nbytes + self.weights.nbytes
+        )
+
     @classmethod
     def from_graph(cls, graph: "nx.Graph | CSRGraph") -> "GraphArrays":
         if isinstance(graph, CSRGraph):

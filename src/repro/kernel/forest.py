@@ -33,6 +33,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import trace as obs_trace
+
 
 class TreeStack:
     """Array bundle for ``T`` rooted trees on ``n`` nodes each.
@@ -84,6 +86,22 @@ def stacked_tree_arrays(
     :class:`RootedTree`, which fixes adjacency enumeration); ``roots[t]``
     is tree ``t``'s root node id.
     """
+    with obs_trace.span(
+        "forest.stacked_build", trees=int(np.asarray(edge_u).shape[0]), n=n
+    ) as sp:
+        stack = _stacked_tree_arrays(edge_u, edge_v, roots, n)
+        sp.set(
+            bytes=int(
+                stack.order.nbytes + stack.pos.nbytes + stack.parent.nbytes
+                + stack.tin.nbytes + stack.tout.nbytes
+            )
+        )
+        return stack
+
+
+def _stacked_tree_arrays(
+    edge_u: np.ndarray, edge_v: np.ndarray, roots: np.ndarray, n: int
+) -> TreeStack:
     edge_u = np.asarray(edge_u, dtype=np.int64)
     edge_v = np.asarray(edge_v, dtype=np.int64)
     roots = np.asarray(roots, dtype=np.int64)

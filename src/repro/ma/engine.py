@@ -26,6 +26,8 @@ import networkx as nx
 from repro.accounting import RoundAccountant
 from repro.graphs.csr import CSRGraph
 from repro.ma.operators import Operator, estimate_bits
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.trees.rooted import edge_key
 
 Node = Hashable
@@ -173,7 +175,16 @@ class MinorAggregationEngine:
         """
         self.rounds_executed += 1
         self.acct.charge(1, charge_label)
+        with obs_trace.span("ma.round", acct=charge_label):
+            obs_metrics.counter("ma.rounds").inc()
+            obs_metrics.counter(f"ma.rounds.{charge_label}").inc()
+            return self._round_body(
+                contract, node_input, consensus_op, edge_message, aggregate_op
+            )
 
+    def _round_body(
+        self, contract, node_input, consensus_op, edge_message, aggregate_op
+    ) -> MARoundResult:
         contracted = self._normalize_contract(contract)
         supernode = self._supernodes(contracted)
 

@@ -1,0 +1,233 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Complement to the span tracer (:mod:`repro.obs.trace`): spans answer
+*where time went*, metrics answer *how much of what happened* -- oracle
+chunk sizes, stacked-solve scratch bytes, CONGEST physical rounds and
+retransmit counts, degradation events, sweep failure rates.
+
+All instruments share the tracer's on/off switch: while tracing is
+disabled every mutating call returns immediately (one function call,
+one flag read), so the instrumented pipeline stays overhead-free and
+bit-identical.  While enabled, mutations are lock-protected and safe
+under the threaded batched sweep.
+
+>>> from repro.obs import metrics, trace
+>>> with trace.tracing():
+...     metrics.counter("congest.messages").inc(3)
+...     metrics.histogram("oracle.chunk_trees", (1, 8, 64)).observe(5)
+>>> metrics.snapshot()["counters"]["congest.messages"]
+3
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Sequence
+
+from repro.obs.trace import enabled
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
+    "snapshot",
+    "reset",
+    "op_count",
+]
+
+#: default histogram buckets: power-of-4 ladder, good for byte / count
+#: distributions spanning many orders of magnitude.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(4.0 ** k for k in range(1, 16))
+
+
+class Counter:
+    """Monotonically increasing count (events, messages, rounds)."""
+
+    __slots__ = ("name", "value", "_registry")
+
+    def __init__(self, name: str, registry: "MetricsRegistry"):
+        self.name = name
+        self.value = 0.0
+        self._registry = registry
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not enabled():
+            return
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._registry._lock:
+            self.value += amount
+            self._registry._ops += 1
+
+    def as_dict(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Last-written value plus the observed extrema (working-set sizes)."""
+
+    __slots__ = ("name", "value", "min", "max", "_registry")
+
+    def __init__(self, name: str, registry: "MetricsRegistry"):
+        self.name = name
+        self.value: float | None = None
+        self.min: float | None = None
+        self.max: float | None = None
+        self._registry = registry
+
+    def set(self, value: float) -> None:
+        if not enabled():
+            return
+        with self._registry._lock:
+            self.value = value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            self._registry._ops += 1
+
+    def as_dict(self) -> dict:
+        return {"value": self.value, "min": self.min, "max": self.max}
+
+
+class Histogram:
+    """Fixed-boundary histogram (cumulative-style buckets, like Prometheus).
+
+    ``boundaries`` are the inclusive upper edges of the finite buckets;
+    an implicit ``+inf`` bucket catches the rest.  ``counts[i]`` is the
+    number of observations ``<= boundaries[i]`` exclusive of earlier
+    buckets (plain, not cumulative, so the export stays readable).
+    """
+
+    __slots__ = ("name", "boundaries", "counts", "count", "total", "max", "_registry")
+
+    def __init__(
+        self,
+        name: str,
+        registry: "MetricsRegistry",
+        boundaries: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        cleaned = tuple(float(b) for b in boundaries)
+        if list(cleaned) != sorted(set(cleaned)):
+            raise ValueError(f"histogram {name!r} boundaries must be "
+                             "strictly increasing")
+        self.name = name
+        self.boundaries = cleaned
+        self.counts = [0] * (len(cleaned) + 1)  # last = +inf bucket
+        self.count = 0
+        self.total = 0.0
+        self.max: float | None = None
+        self._registry = registry
+
+    def observe(self, value: float) -> None:
+        if not enabled():
+            return
+        with self._registry._lock:
+            self.counts[bisect.bisect_left(self.boundaries, value)] += 1
+            self.count += 1
+            self.total += value
+            self.max = value if self.max is None else max(self.max, value)
+            self._registry._ops += 1
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def as_dict(self) -> dict:
+        return {
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed instrument store; one process-wide instance is enough.
+
+    Instruments are created on first access and keep their identity for
+    the registry's lifetime, so hot paths can prebind
+    ``registry.counter("x")`` outside a loop and call ``.inc()`` inside.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._ops = 0
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(
+                    name, Counter(name, self)
+                )
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(name, Gauge(name, self))
+        return instrument
+
+    def histogram(
+        self, name: str, boundaries: "Sequence[float] | None" = None
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(
+                    name,
+                    Histogram(name, self, boundaries or DEFAULT_BUCKETS),
+                )
+        return instrument
+
+    def op_count(self) -> int:
+        """Total mutations recorded (the overhead gate sizes itself on it)."""
+        with self._lock:
+            return self._ops
+
+    def snapshot(self) -> dict:
+        """JSON-friendly view of every instrument, names sorted."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.as_dict()
+                    for name, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: g.as_dict()
+                    for name, g in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: h.as_dict()
+                    for name, h in sorted(self._histograms.items())
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop every instrument (tests / fresh CLI runs)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._ops = 0
+
+
+#: the process-wide registry the pipeline instrumentation reports to.
+REGISTRY = MetricsRegistry()
+
+counter = REGISTRY.counter
+gauge = REGISTRY.gauge
+histogram = REGISTRY.histogram
+snapshot = REGISTRY.snapshot
+reset = REGISTRY.reset
+op_count = REGISTRY.op_count

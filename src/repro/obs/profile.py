@@ -1,0 +1,245 @@
+"""Profile reports: join span timings with ``RoundAccountant`` ledgers.
+
+A profile is an aggregation of recorded spans (:mod:`repro.obs.trace`)
+into a tree keyed by span *path* (the chain of span names from the
+root), with each node carrying:
+
+* ``count`` -- how many spans landed on this path,
+* ``seconds`` -- summed wall-clock time,
+* ``self_seconds`` -- ``seconds`` minus time spent in child spans,
+* ``bytes_peak`` -- the largest ``bytes`` attribute seen (stages report
+  their peak working-set size through it),
+* ``rounds`` -- CONGEST paper-rounds joined from a
+  :class:`~repro.accounting.RoundAccountant` snapshot.
+
+The rounds join uses two reserved span attributes: ``acct`` names the
+exact ledger label a stage charges (e.g. ``"packing:boruvka"``), and
+``acct_prefix`` claims every label under a prefix (e.g. ``"packing:"``).
+Deeper spans claim before their ancestors, each label is counted once,
+and whatever no span claimed is reported under ``unattributed_rounds``
+so the table always reconciles with the ledger total.
+
+``build_profile`` returns plain dicts (JSON-safe, lands in
+``MinCutResult.stats["profile"]``); ``render_profile`` formats the
+nested table the ``repro profile`` CLI prints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.obs.trace import Span
+
+__all__ = ["build_profile", "render_profile", "format_bytes"]
+
+
+def _by_label(accountant) -> dict[str, int]:
+    """Accept an accountant, a ``snapshot()`` dict, a by_label map, or None."""
+    if accountant is None:
+        return {}
+    if hasattr(accountant, "snapshot"):
+        accountant = accountant.snapshot()
+    if isinstance(accountant, Mapping) and "by_label" in accountant:
+        accountant = accountant["by_label"]
+    return dict(accountant)
+
+
+class _Node:
+    __slots__ = (
+        "name", "path", "count", "seconds", "child_seconds", "bytes_peak",
+        "labels", "prefixes", "rounds", "children",
+    )
+
+    def __init__(self, name: str, path: tuple[str, ...]):
+        self.name = name
+        self.path = path
+        self.count = 0
+        self.seconds = 0.0
+        self.child_seconds = 0.0
+        self.bytes_peak: int | None = None
+        self.labels: set[str] = set()
+        self.prefixes: set[str] = set()
+        self.rounds = 0
+        self.children: dict[str, "_Node"] = {}
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "path": "/".join(self.path),
+            "count": self.count,
+            "seconds": self.seconds,
+            "self_seconds": max(0.0, self.seconds - self.child_seconds),
+            "bytes_peak": self.bytes_peak,
+            "rounds": self.rounds,
+            "children": [
+                child.as_dict() for child in self.children.values()
+            ],
+        }
+
+
+def build_profile(
+    spans: Iterable[Span],
+    accountant=None,
+    *,
+    dropped: int = 0,
+) -> dict:
+    """Aggregate ``spans`` into a path-keyed tree joined with paper-rounds.
+
+    ``accountant`` may be a :class:`~repro.accounting.RoundAccountant`,
+    its ``snapshot()`` dict, a bare ``by_label`` mapping, or ``None``.
+    """
+    pool = list(spans)
+    ledger = _by_label(accountant)
+
+    by_id = {record.span_id: record for record in pool}
+    paths: dict[int, tuple[str, ...]] = {}
+
+    def path_of(record: Span) -> tuple[str, ...]:
+        cached = paths.get(record.span_id)
+        if cached is None:
+            parent = by_id.get(record.parent_id)
+            prefix = path_of(parent) if parent is not None else ()
+            cached = paths[record.span_id] = prefix + (record.name,)
+        return cached
+
+    roots: dict[str, _Node] = {}
+    nodes: dict[tuple[str, ...], _Node] = {}
+
+    def node_of(path: tuple[str, ...]) -> _Node:
+        node = nodes.get(path)
+        if node is None:
+            node = nodes[path] = _Node(path[-1], path)
+            if len(path) == 1:
+                roots.setdefault(path[0], node)
+            else:
+                node_of(path[:-1]).children.setdefault(path[-1], node)
+        return node
+
+    for record in pool:
+        node = node_of(path_of(record))
+        node.count += 1
+        node.seconds += record.seconds
+        size = record.attrs.get("bytes")
+        if size is not None:
+            size = int(size)
+            node.bytes_peak = (
+                size if node.bytes_peak is None else max(node.bytes_peak, size)
+            )
+        label = record.attrs.get("acct")
+        if label:
+            if isinstance(label, (list, tuple, set, frozenset)):
+                node.labels.update(str(item) for item in label)
+            else:
+                node.labels.add(str(label))
+        prefix = record.attrs.get("acct_prefix")
+        if prefix:
+            if isinstance(prefix, (list, tuple, set, frozenset)):
+                node.prefixes.update(str(item) for item in prefix)
+            else:
+                node.prefixes.add(str(prefix))
+        parent = by_id.get(record.parent_id)
+        if parent is not None:
+            node_of(path_of(parent)).child_seconds += record.seconds
+
+    # Join paper-rounds: deepest claims first, each ledger label once.
+    claimed: set[str] = set()
+    for node in sorted(nodes.values(), key=lambda n: len(n.path), reverse=True):
+        for label in sorted(node.labels):
+            if label in ledger and label not in claimed:
+                claimed.add(label)
+                node.rounds += ledger[label]
+        for prefix in sorted(node.prefixes):
+            for label, rounds in ledger.items():
+                if label.startswith(prefix) and label not in claimed:
+                    claimed.add(label)
+                    node.rounds += rounds
+    # Roll claimed rounds up into ancestors so parents show subtree totals.
+    for path, node in sorted(
+        nodes.items(), key=lambda item: len(item[0]), reverse=True
+    ):
+        if len(path) > 1 and node.rounds:
+            nodes[path[:-1]].rounds += node.rounds
+
+    unattributed = {
+        label: rounds
+        for label, rounds in sorted(ledger.items())
+        if label not in claimed
+    }
+    return {
+        "tree": [root.as_dict() for root in roots.values()],
+        "span_count": len(pool),
+        "dropped_spans": dropped,
+        "total_seconds": sum(root.seconds for root in roots.values()),
+        "ledger_rounds": sum(ledger.values()),
+        "unattributed_rounds": unattributed,
+    }
+
+
+_UNITS = ((1 << 30, "GiB"), (1 << 20, "MiB"), (1 << 10, "KiB"))
+
+
+def format_bytes(size: "int | None") -> str:
+    if size is None:
+        return "-"
+    for threshold, unit in _UNITS:
+        if size >= threshold:
+            return f"{size / threshold:.1f}{unit}"
+    return f"{int(size)}B"
+
+
+def render_profile(profile: Mapping) -> str:
+    """Format a :func:`build_profile` dict as a nested fixed-width table."""
+    rows: list[tuple[str, str, str, str, str, str]] = []
+
+    def walk(node: Mapping, depth: int) -> None:
+        rows.append((
+            "  " * depth + node["name"],
+            str(node["count"]),
+            f"{node['seconds']:.4f}",
+            f"{node['self_seconds']:.4f}",
+            format_bytes(node.get("bytes_peak")),
+            str(node["rounds"]) if node["rounds"] else "-",
+        ))
+        for child in node.get("children", ()):
+            walk(child, depth + 1)
+
+    for root in profile.get("tree", ()):
+        walk(root, 0)
+
+    header = ("phase", "count", "seconds", "self", "bytes", "rounds")
+    widths = [
+        max(len(header[col]), *(len(row[col]) for row in rows))
+        if rows else len(header[col])
+        for col in range(len(header))
+    ]
+    lines = [
+        "  ".join(
+            header[col].ljust(widths[col]) if col == 0
+            else header[col].rjust(widths[col])
+            for col in range(len(header))
+        ),
+        "  ".join("-" * widths[col] for col in range(len(header))),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(
+                row[col].ljust(widths[col]) if col == 0
+                else row[col].rjust(widths[col])
+                for col in range(len(header))
+            )
+        )
+    total = profile.get("total_seconds", 0.0)
+    ledger = profile.get("ledger_rounds", 0)
+    lines.append("")
+    lines.append(
+        f"total {total:.4f}s over {profile.get('span_count', 0)} spans; "
+        f"ledger rounds {ledger}"
+    )
+    unattributed = profile.get("unattributed_rounds") or {}
+    if unattributed:
+        lines.append("unattributed rounds:")
+        for label, rounds in unattributed.items():
+            lines.append(f"  {label}: {rounds}")
+    if profile.get("dropped_spans"):
+        lines.append(f"dropped spans: {profile['dropped_spans']}")
+    return "\n".join(lines)
