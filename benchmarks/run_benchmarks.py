@@ -10,7 +10,7 @@ perf PRs have a committed baseline to diff against.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_benchmarks.py              # BENCH_PR7.json
+    PYTHONPATH=src python benchmarks/run_benchmarks.py              # BENCH_PR8.json
     PYTHONPATH=src python benchmarks/run_benchmarks.py --out X.json --repeats 5
     PYTHONPATH=src python benchmarks/run_benchmarks.py --compare BENCH_PR2.json
 
@@ -28,9 +28,15 @@ throughput of looping ``minimum_cut`` with bit-identical results
 The ``profile`` section (PR 7) records the per-phase breakdown of one
 traced end-to-end oracle solve (seconds + peak bytes + paper-rounds per
 phase), and the ``trace_overhead`` section proves the disabled-mode
-instrumentation overhead stays under 2% on the E10 workload (same
-measurement as ``scripts/check_trace_overhead.py``; enforced with
-``--check``).
+instrumentation overhead stays under 2% on the E10 and serving-tier
+workloads (same measurement as ``scripts/check_trace_overhead.py``;
+enforced with ``--check``).
+
+The ``serve`` section (PR 8) pushes the same 50-graph sweep workload
+through :class:`repro.serve.MinCutService` and records
+``qps_unbatched`` / ``qps_cold`` / ``qps_warm``; with ``--check`` the
+warm-cache qps must be >= 3x the unbatched qps (with bit-identical
+results) and the ``pytest -m serve`` suite must pass.
 
 ``--compare BASELINE.json`` is the regression gate: it exits non-zero when
 any tracked metric (the ``kernel_micro`` timings, plus the ``csr`` and
@@ -82,6 +88,8 @@ CSR_SEED = 11
 MANY_COUNT = 50
 MANY_N = 24
 MANY_SPEEDUP_FLOOR = 2.0
+#: the PR 8 acceptance bar: warm-cache served qps vs unbatched solves.
+SERVE_WARM_FLOOR = 3.0
 #: --compare fails when a tracked metric is more than this much slower.
 REGRESSION_SLACK = 1.10
 
@@ -313,6 +321,137 @@ def run_many_bench(repeats: int) -> dict:
     return {f"sweep{MANY_COUNT}": row}
 
 
+def run_serve_bench(repeats: int) -> dict:
+    """Service-tier throughput: cold-cache vs warm-cache vs unbatched.
+
+    The same 50-graph gnm n=24 workload as the ``many`` section, pushed
+    through :class:`repro.serve.MinCutService` concurrently:
+
+    * **unbatched** -- one direct ``minimum_cut`` pipeline per request
+      (what request-at-a-time traffic costs without the serving tier);
+    * **cold** -- a fresh service, every cache empty: requests fuse into
+      micro-batched ``minimum_cut_many`` sweeps;
+    * **warm** -- the same workload again on the same service: repeats
+      are answered from the result-dedup cache / warm packings.
+
+    The PR 8 acceptance bar (enforced with ``--check``): warm qps >=
+    3x unbatched qps, with every served result bit-identical to the
+    direct solves.
+    """
+    import asyncio
+
+    from repro.core.mincut import minimum_cut
+    from repro.graphs import CSR_FAMILY_BUILDERS
+    from repro.serve import MinCutService, ServeConfig
+
+    graphs = [
+        CSR_FAMILY_BUILDERS["gnm"](MANY_N, seed) for seed in range(MANY_COUNT)
+    ]
+    seeds = list(range(MANY_COUNT))
+    micro_repeats = max(repeats, 5)
+
+    unbatched_samples, loop_results = _timed(
+        lambda: [
+            minimum_cut(
+                graph, seed=seed, solver="oracle", compute_congest=False
+            )
+            for graph, seed in zip(graphs, seeds)
+        ],
+        micro_repeats,
+    )
+
+    cold_samples: list[float] = []
+    warm_samples: list[float] = []
+    cold_results = warm_results = None
+    last_stats: dict = {}
+
+    async def one_service_run():
+        async with MinCutService(serve=ServeConfig(batch_ms=2.0)) as service:
+            start = time.perf_counter()
+            cold = await asyncio.gather(
+                *(service.submit(g, seed=s) for g, s in zip(graphs, seeds))
+            )
+            mid = time.perf_counter()
+            warm = await asyncio.gather(
+                *(service.submit(g, seed=s) for g, s in zip(graphs, seeds))
+            )
+            end = time.perf_counter()
+            return cold, warm, mid - start, end - mid, service.stats()
+
+    for _ in range(micro_repeats):
+        cold_results, warm_results, cold_s, warm_s, last_stats = asyncio.run(
+            one_service_run()
+        )
+        cold_samples.append(cold_s)
+        warm_samples.append(warm_s)
+
+    identical = all(
+        a.value == b.value == c.value
+        and a.partition == b.partition == c.partition
+        and a.stats["accountant"] == b.stats["accountant"]
+        == c.stats["accountant"]
+        for a, b, c in zip(loop_results, cold_results, warm_results)
+    )
+    qps_unbatched = MANY_COUNT / min(unbatched_samples)
+    qps_cold = MANY_COUNT / min(cold_samples)
+    qps_warm = MANY_COUNT / min(warm_samples)
+    row = {
+        "count": MANY_COUNT,
+        "n": MANY_N,
+        "family": "gnm",
+        "solver": "oracle",
+        "batch_ms": 2.0,
+        "unbatched_best_seconds": round(min(unbatched_samples), 6),
+        "cold_best_seconds": round(min(cold_samples), 6),
+        "warm_best_seconds": round(min(warm_samples), 6),
+        "warm_speedup_vs_unbatched": round(qps_warm / qps_unbatched, 2),
+        "cold_speedup_vs_unbatched": round(qps_cold / qps_unbatched, 2),
+        "mean_batch": last_stats["batcher"]["mean_batch"],
+        "packing_cache_hit_rate": last_stats["packing_cache"]["hit_rate"],
+        "bit_identical": bool(identical),
+    }
+    for label, qps in (
+        ("unbatched", qps_unbatched), ("cold", qps_cold), ("warm", qps_warm)
+    ):
+        print(
+            f"  serve {label:<22} {MANY_COUNT / qps * 1e3:8.2f} ms"
+            f"  {qps:8.1f} qps"
+        )
+    print(
+        f"  warm vs unbatched            "
+        f"{row['warm_speedup_vs_unbatched']:6.1f}x  identical={identical}"
+    )
+    return {
+        "qps_unbatched": round(qps_unbatched, 1),
+        "qps_cold": round(qps_cold, 1),
+        "qps_warm": round(qps_warm, 1),
+        f"sweep{MANY_COUNT}": row,
+    }
+
+
+def run_serve_tests() -> dict:
+    """Run the `-m serve` pytest suite in a subprocess (the --check gate)."""
+    import subprocess
+
+    root = Path(__file__).resolve().parent.parent
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", "-m", "serve", "tests/test_serve.py"],
+        cwd=root,
+        env={**__import__("os").environ, "PYTHONPATH": str(root / "src")},
+        capture_output=True,
+        text=True,
+    )
+    seconds = time.perf_counter() - start
+    passed = proc.returncode == 0
+    tail = (proc.stdout.strip().splitlines() or ["<no output>"])[-1]
+    print(f"  pytest -m serve              {seconds * 1e3:8.0f} ms  {tail}")
+    if not passed:
+        print(proc.stdout, file=sys.stderr)
+        print(proc.stderr, file=sys.stderr)
+    return {"passed": passed, "seconds": round(seconds, 3), "summary": tail}
+
+
 def run_profile_bench() -> dict:
     """Per-phase breakdown of one traced end-to-end oracle solve.
 
@@ -369,24 +508,31 @@ def run_profile_bench() -> dict:
 
 
 def run_trace_overhead_bench(repeats: int) -> dict:
-    """Disabled-mode instrumentation overhead (the PR 7 acceptance row)."""
+    """Disabled-mode instrumentation overhead (the PR 7 acceptance row,
+    now measured on both the E10 and the serving-tier workloads)."""
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
-    from check_trace_overhead import measure_trace_overhead
+    from check_trace_overhead import WORKLOADS, measure_trace_overhead
 
-    row = measure_trace_overhead(repeats)
-    row["within_budget"] = bool(
-        row["implied_overhead_fraction"] <= row["budget_fraction"]
+    rows: dict = {}
+    for workload in WORKLOADS:
+        row = measure_trace_overhead(repeats, workload=workload)
+        row["within_budget"] = bool(
+            row["implied_overhead_fraction"] <= row["budget_fraction"]
+        )
+        print(
+            f"  disabled tracing ({workload:<5})     "
+            f"{row['span_calls']} spans @ {row['span_call_cost_ns']:.0f} ns, "
+            f"{row['metric_ops']} metric ops @ {row['metric_op_cost_ns']:.0f} ns"
+            f"  -> {row['implied_overhead_fraction']:.4%} of "
+            f"{row['workload_best_seconds'] * 1e3:.1f} ms"
+            f"  (budget {row['budget_fraction']:.0%})"
+            f"  within_budget={row['within_budget']}"
+        )
+        rows[workload] = row
+    rows["within_budget"] = all(
+        row["within_budget"] for row in rows.values() if isinstance(row, dict)
     )
-    print(
-        f"  disabled tracing             "
-        f"{row['span_calls']} spans @ {row['span_call_cost_ns']:.0f} ns, "
-        f"{row['metric_ops']} metric ops @ {row['metric_op_cost_ns']:.0f} ns"
-        f"  -> {row['implied_overhead_fraction']:.4%} of "
-        f"{row['workload_best_seconds'] * 1e3:.1f} ms"
-        f"  (budget {row['budget_fraction']:.0%})"
-        f"  within_budget={row['within_budget']}"
-    )
-    return row
+    return rows
 
 
 def _tracked_metrics(payload: dict) -> dict[str, float]:
@@ -396,6 +542,7 @@ def _tracked_metrics(payload: dict) -> dict[str, float]:
         ("kernel_micro", "kernel_best_seconds"),
         ("csr", "csr_best_seconds"),
         ("many", "many_best_seconds"),
+        ("serve", "warm_best_seconds"),
     ):
         for label, row in payload.get(section, {}).items():
             if isinstance(row, dict) and key in row:  # skip error rows
@@ -458,7 +605,7 @@ def compare_against(baseline_path: str, payload: dict) -> int:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR7.json")
+    parser.add_argument("--out", default="BENCH_PR8.json")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
         "--check",
@@ -484,13 +631,17 @@ def main() -> int:
     csr = run_csr_bench(args.repeats)
     print("many-graph sweep:")
     many = run_many_bench(args.repeats)
+    print("serve tier (cold/warm/unbatched):")
+    serve = run_serve_bench(args.repeats)
+    if args.check:
+        serve["tests"] = run_serve_tests()
     print("traced-solve profile:")
     profile = run_profile_bench()
     print("trace overhead:")
     trace_overhead = run_trace_overhead_bench(args.repeats)
 
     payload = {
-        "schema": "repro-bench/7",
+        "schema": "repro-bench/8",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "repeats": args.repeats,
@@ -498,6 +649,7 @@ def main() -> int:
         "kernel_micro": micro,
         "csr": csr,
         "many": many,
+        "serve": serve,
         "profile": profile,
         "trace_overhead": trace_overhead,
     }
@@ -508,6 +660,7 @@ def main() -> int:
     ok = all(row["bit_identical"] for row in micro.values())
     ok = ok and csr["mincut_oracle"]["bit_identical"]
     ok = ok and all(row["bit_identical"] for row in many.values())
+    ok = ok and serve[f"sweep{MANY_COUNT}"]["bit_identical"]
     fast_enough = all(row["speedup"] >= SPEEDUP_FLOOR for row in micro.values())
     many_fast_enough = all(
         row["speedup"] >= MANY_SPEEDUP_FLOOR for row in many.values()
@@ -529,11 +682,21 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
+    serve_row = serve[f"sweep{MANY_COUNT}"]
+    if args.check and serve_row["warm_speedup_vs_unbatched"] < SERVE_WARM_FLOOR:
+        print(
+            f"FAIL: warm-cache served qps below {SERVE_WARM_FLOOR}x unbatched "
+            f"({serve_row['warm_speedup_vs_unbatched']}x)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.check and not serve.get("tests", {}).get("passed", True):
+        print("FAIL: serve test suite failed", file=sys.stderr)
+        return 1
     if args.check and not trace_overhead["within_budget"]:
         print(
-            "FAIL: disabled-mode tracing overhead exceeds "
-            f"{trace_overhead['budget_fraction']:.0%} "
-            f"({trace_overhead['implied_overhead_fraction']:.4%})",
+            "FAIL: disabled-mode tracing overhead exceeds budget "
+            "(see trace_overhead rows)",
             file=sys.stderr,
         )
         return 1

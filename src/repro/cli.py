@@ -293,6 +293,84 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the line-delimited-JSON TCP min-cut service."""
+    import asyncio
+
+    from repro.serve import MinCutServer, ServeConfig
+
+    config = repro.SolverConfig.from_args(args)
+    serve = ServeConfig.from_env(
+        **{
+            key: value
+            for key, value in (
+                ("batch_ms", args.batch_ms),
+                ("max_batch", args.max_batch),
+                ("cache_bytes", args.cache_bytes),
+                ("result_cache_size", args.result_cache),
+            )
+            if value is not None
+        }
+    )
+
+    async def run() -> int:
+        async with MinCutServer(
+            host=args.host, port=args.port, config=config, serve=serve
+        ) as server:
+            print(
+                f"repro serve: listening on {server.host}:{server.port} "
+                f"(solver={config.solver}, batch window "
+                f"{server.service._batcher.batch_ms}ms, packing cache "
+                f"{server.service.packing_cache.budget_bytes // (1024 * 1024)}"
+                "MiB)",
+                flush=True,
+            )
+            try:
+                await server.serve_forever()
+            except asyncio.CancelledError:  # pragma: no cover - shutdown
+                pass
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        print("repro serve: shutting down")
+        return 0
+
+
+def cmd_loadgen(args) -> int:
+    """Drive a running ``repro serve`` instance and report qps/latency."""
+    import asyncio
+
+    from repro.serve import run_loadgen
+
+    summary = asyncio.run(
+        run_loadgen(
+            host=args.host,
+            port=args.port,
+            count=args.count,
+            n=args.n,
+            family=args.family,
+            distinct=args.distinct,
+            concurrency=args.concurrency,
+            solver=args.solver,
+            repeat=args.repeat,
+        )
+    )
+    text = json.dumps(summary, indent=2)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(text + "\n")
+        print(
+            f"loadgen: {summary['requests']} requests in "
+            f"{summary['seconds']}s ({summary['qps']} qps, "
+            f"{summary['failures']} failures) -> {args.json}"
+        )
+    else:
+        print(text)
+    return 1 if summary["failures"] else 0
+
+
 def cmd_info(_args) -> int:
     print(f"repro {repro.__version__} -- Universally-Optimal Distributed "
           "Exact Min-Cut (Ghaffari & Zuzic, PODC 2022)")
@@ -379,6 +457,70 @@ def build_parser() -> argparse.ArgumentParser:
     add_graph_args(p_gen)
     p_gen.add_argument("--out", help="output path (.txt edge list or .npz CSR)")
     p_gen.set_defaults(func=cmd_generate)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the async min-cut service (line-delimited JSON over TCP)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7465,
+        help="TCP port (0 picks a free one)",
+    )
+    p_serve.add_argument(
+        "--solver", default="oracle", choices=list(registered_solvers()),
+        help="default solver for requests that name none",
+    )
+    p_serve.add_argument("--trees", type=int, default=None)
+    p_serve.add_argument(
+        "--no-congest", action="store_true", default=True,
+        help=argparse.SUPPRESS,
+    )
+    p_serve.add_argument(
+        "--batch-ms", type=float, default=None,
+        help="micro-batch window in ms (default REPRO_SERVE_BATCH_MS or 2)",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=None,
+        help="cap on requests fused per batch (default 64)",
+    )
+    p_serve.add_argument(
+        "--cache-bytes", type=int, default=None,
+        help="packing-cache byte budget "
+             "(default REPRO_SERVE_CACHE_BYTES or 128 MiB)",
+    )
+    p_serve.add_argument(
+        "--result-cache", type=int, default=None,
+        help="result-dedup LRU entries (0 disables; default 4096)",
+    )
+    p_serve.set_defaults(func=cmd_serve, backend="csr", certify=False)
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a running `repro serve` and report qps + latency",
+    )
+    p_loadgen.add_argument("--host", default="127.0.0.1")
+    p_loadgen.add_argument("--port", type=int, default=7465)
+    p_loadgen.add_argument(
+        "--count", type=int, default=50, help="requests per repeat"
+    )
+    p_loadgen.add_argument("--n", type=int, default=24, help="graph size")
+    p_loadgen.add_argument("--family", default="gnm")
+    p_loadgen.add_argument(
+        "--distinct", type=int, default=None,
+        help="unique graphs in the workload (< count exercises the caches)",
+    )
+    p_loadgen.add_argument("--concurrency", type=int, default=8)
+    p_loadgen.add_argument(
+        "--repeat", type=int, default=1,
+        help="replay the workload this many times (2+ measures warm paths)",
+    )
+    p_loadgen.add_argument(
+        "--solver", default=None, choices=list(registered_solvers()),
+        help="per-request solver override (default: server's default)",
+    )
+    p_loadgen.add_argument("--json", help="write the JSON summary here")
+    p_loadgen.set_defaults(func=cmd_loadgen)
 
     p_info = sub.add_parser("info", help="package information")
     p_info.set_defaults(func=cmd_info)

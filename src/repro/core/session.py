@@ -840,6 +840,10 @@ class SweepFailure:
     #: innermost trace span active when the error surfaced (requires
     #: tracing; falls back to the sweep stage name when disabled).
     phase: "str | None" = None
+    #: :meth:`CSRGraph.canonical_hash` of the originating graph (``None``
+    #: for non-CSR inputs), so batchers can re-associate failures with
+    #: their requests without positional bookkeeping.
+    graph_hash: "str | None" = None
 
     ok: bool = False
 
@@ -853,6 +857,7 @@ class SweepFailure:
             "solver": self.solver,
             "seconds": self.seconds,
             "phase": self.phase,
+            "graph_hash": self.graph_hash,
             "ok": self.ok,
         }
 
@@ -964,6 +969,14 @@ def _sweep_impl(
     strict: bool,
     certify: bool,
 ) -> "list[MinCutResult | SweepFailure]":
+    # Canonical content hash per graph (CSR inputs only) -- every result
+    # and failure row carries it (``stats["sweep"]`` / ``graph_hash``) so
+    # fan-out layers like the serve batcher re-associate by identity, not
+    # by position.
+    hashes: "list[str | None]" = [
+        graph.canonical_hash() if isinstance(graph, CSRGraph) else None
+        for graph in graphs
+    ]
     results: "list[MinCutResult | SweepFailure | None]" = [None] * len(graphs)
     valid: list[int] = []
     with obs_trace.span("sweep.validate", graphs=len(graphs)):
@@ -1058,6 +1071,15 @@ def _sweep_impl(
                     seconds=time.perf_counter() - started,
                     phase=obs_trace.last_error_span() or "certify",
                 )
+
+    for index, result in enumerate(results):
+        if isinstance(result, MinCutResult):
+            result.stats["sweep"] = {
+                "index": index,
+                "graph_hash": hashes[index],
+            }
+        elif isinstance(result, SweepFailure):
+            result.graph_hash = hashes[index]
     return results  # type: ignore[return-value]
 
 

@@ -37,6 +37,7 @@ zero-weight edges reportable as crossing witnesses.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Hashable, Iterable, Sequence
 
 import numpy as np
@@ -123,7 +124,7 @@ class CSRGraph:
     __slots__ = (
         "n", "edge_u", "edge_v", "edge_w",
         "indptr", "indices", "adj_weight", "adj_edge",
-        "nodes", "meta", "int_weights", "_index",
+        "nodes", "meta", "int_weights", "_index", "_hash",
     )
 
     def __init__(
@@ -148,6 +149,7 @@ class CSRGraph:
         self.nodes = nodes
         self.meta = dict(meta) if meta else {}
         self._index: dict | None = None
+        self._hash: str | None = None
 
         u = _as_index_array(edge_u, n, "edge_u")
         v = _as_index_array(edge_v, n, "edge_v")
@@ -410,6 +412,40 @@ class CSRGraph:
 
     def total_weight(self) -> float:
         return float(self.edge_w.sum())
+
+    def canonical_hash(self) -> str:
+        """Content hash of the canonical edge table (hex SHA-256).
+
+        Two :class:`CSRGraph` instances hash equal iff they describe the
+        same weighted graph on the same node labels: construction already
+        canonicalizes the edge table (rows as ``(min, max)`` pairs sorted
+        lexicographically, parallel edges merged), so any permutation of
+        the input edge list -- and an ``.npz`` round trip -- produces the
+        identical hash, while any weight change produces a different one.
+        The node-label table participates when present (two structurally
+        equal graphs with different labels yield different partitions, so
+        they must not collide); identity-labelled graphs hash over the
+        arrays alone.
+
+        The serving layer (:mod:`repro.serve`) keys its request dedup and
+        :class:`~repro.serve.PackingCache` on this.  The digest is
+        computed once and memoized (graphs are immutable; the weight- and
+        topology-changing operations all return fresh instances).
+        """
+        if self._hash is None:
+            digest = hashlib.sha256()
+            digest.update(b"repro-csr-hash/1")
+            digest.update(np.int64(self.n).tobytes())
+            digest.update(np.ascontiguousarray(self.edge_u).tobytes())
+            digest.update(np.ascontiguousarray(self.edge_v).tobytes())
+            digest.update(np.ascontiguousarray(self.edge_w).tobytes())
+            if self.nodes is not None:
+                for label in self.nodes:
+                    token = f"{type(label).__name__}:{label!r}"
+                    digest.update(token.encode("utf-8", "backslashreplace"))
+                    digest.update(b"\x00")
+            self._hash = digest.hexdigest()
+        return self._hash
 
     # ------------------------------------------------------------------
     # Degree / neighbor primitives (indptr slices, no dict scans)

@@ -1,0 +1,148 @@
+"""The micro-batcher: collect requests for a few ms, flush them together.
+
+Amortization is the whole economics of this serving tier: one fused
+:func:`~repro.core.session.minimum_cut_many` pass over ``k`` same-``n``
+graphs costs far less than ``k`` independent pipelines (one concatenated
+tree packing, one stacked BFS/Euler build, one chunked stacked-tensor
+oracle pass).  But requests arrive one at a time -- so the batcher trades
+a few milliseconds of added latency for that throughput: the first
+request in an idle service opens a *collection window*
+(``batch_ms``), everything arriving inside the window joins the batch
+(capped at ``max_batch``), and the whole batch is flushed to the solver
+at once.  Results fan back out to per-request futures, with per-graph
+:class:`~repro.core.session.SweepFailure` isolation -- one bad graph
+fails its own future, not its batch-mates'.
+
+The class is deliberately generic (items in, ``flush(batch)`` out): the
+service owns request semantics, the batcher owns only timing.  All of it
+runs on the event loop; the flush callback is async so the service can
+push the actual solve into a worker thread without stalling collection
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from typing import Awaitable, Callable, Sequence
+
+from repro.obs import metrics as obs_metrics
+
+__all__ = ["Batcher", "env_batch_ms"]
+
+#: default collection window in milliseconds.
+DEFAULT_BATCH_MS = 2.0
+#: default cap on requests fused into one flush.
+DEFAULT_MAX_BATCH = 64
+
+_SHUTDOWN = object()
+
+
+def env_batch_ms() -> float:
+    """The ``REPRO_SERVE_BATCH_MS`` collection window (default 2 ms)."""
+    try:
+        value = float(os.environ.get("REPRO_SERVE_BATCH_MS", DEFAULT_BATCH_MS))
+    except ValueError:
+        return DEFAULT_BATCH_MS
+    return value if value >= 0 else DEFAULT_BATCH_MS
+
+
+class Batcher:
+    """Window-based request coalescing on the running event loop.
+
+    >>> batcher = Batcher(flush, batch_ms=2.0, max_batch=64)
+    >>> await batcher.start()
+    >>> await batcher.put(request)       # joins the open window, if any
+    >>> await batcher.stop()             # drains, then stops
+    """
+
+    def __init__(
+        self,
+        flush: Callable[[Sequence], Awaitable[None]],
+        batch_ms: float | None = None,
+        max_batch: int = DEFAULT_MAX_BATCH,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self._flush = flush
+        self.batch_ms = env_batch_ms() if batch_ms is None else float(batch_ms)
+        self.max_batch = int(max_batch)
+        self._queue: asyncio.Queue | None = None
+        self._task: asyncio.Task | None = None
+        self.batches = 0
+        self.items = 0
+        self.max_batch_seen = 0
+
+    async def start(self) -> None:
+        if self._task is not None:
+            return
+        self._queue = asyncio.Queue()
+        self._task = asyncio.get_running_loop().create_task(
+            self._run(), name="repro-serve-batcher"
+        )
+
+    async def stop(self) -> None:
+        """Flush whatever is pending, then retire the collector task."""
+        if self._task is None:
+            return
+        await self._queue.put(_SHUTDOWN)
+        await self._task
+        self._task = None
+        self._queue = None
+
+    async def put(self, item) -> None:
+        if self._queue is None:
+            raise RuntimeError("batcher not started (call start() first)")
+        await self._queue.put(item)
+        obs_metrics.gauge("serve.queue_depth").set(self._queue.qsize())
+
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        queue = self._queue
+        shutting_down = False
+        while not shutting_down:
+            head = await queue.get()
+            if head is _SHUTDOWN:
+                break
+            batch = [head]
+            deadline = loop.time() + self.batch_ms / 1000.0
+            while len(batch) < self.max_batch:
+                timeout = deadline - loop.time()
+                if timeout <= 0:
+                    # Window closed: drain whatever already queued up
+                    # (they arrived inside the window) without waiting.
+                    while (
+                        len(batch) < self.max_batch and not queue.empty()
+                    ):
+                        item = queue.get_nowait()
+                        if item is _SHUTDOWN:
+                            shutting_down = True
+                            break
+                        batch.append(item)
+                    break
+                try:
+                    item = await asyncio.wait_for(queue.get(), timeout)
+                except asyncio.TimeoutError:
+                    break
+                if item is _SHUTDOWN:
+                    shutting_down = True
+                    break
+                batch.append(item)
+            self.batches += 1
+            self.items += len(batch)
+            self.max_batch_seen = max(self.max_batch_seen, len(batch))
+            obs_metrics.histogram(
+                "serve.batch_size", (1, 2, 4, 8, 16, 32, 64, 128)
+            ).observe(len(batch))
+            await self._flush(batch)
+
+    def stats(self) -> dict:
+        return {
+            "batches": self.batches,
+            "items": self.items,
+            "max_batch_seen": self.max_batch_seen,
+            "mean_batch": (self.items / self.batches) if self.batches else None,
+            "batch_ms": self.batch_ms,
+            "max_batch": self.max_batch,
+        }

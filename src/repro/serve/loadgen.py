@@ -1,0 +1,195 @@
+"""Load generator / reference client for the ``repro serve`` TCP front end.
+
+Two layers, so both the CLI and the tests can drive a server:
+
+* :class:`ServeClient` -- one line-delimited-JSON TCP connection with a
+  request/response ``solve`` / ``stats`` / ``ping`` API.
+* :func:`run_loadgen` -- open ``concurrency`` connections, fire a
+  synthetic workload (``count`` requests drawn from ``distinct`` unique
+  graphs of a CLI generator family), and report client-side qps plus
+  p50/p99 latency.  ``distinct < count`` repeats graphs, which is exactly
+  what exercises the server's result/packing caches; concurrent
+  connections land in the same micro-batch window, which is what
+  exercises the batcher.
+
+The workload builder is shared with the benchmark suite's serve section
+(same ``(family, n, seed)`` graphs as the ``minimum_cut_many`` rows, so
+the qps numbers are comparable).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+from repro.graphs import CSR_FAMILY_BUILDERS
+from repro.serve.server import graph_to_wire
+from repro.serve.service import LatencyHistogram
+
+__all__ = ["ServeClient", "make_workload", "run_loadgen"]
+
+
+def make_workload(
+    count: int = 50,
+    n: int = 24,
+    family: str = "gnm",
+    distinct: int | None = None,
+    seed0: int = 0,
+):
+    """``count`` requests over ``distinct`` unique graphs of one family.
+
+    Returns ``[(graph, seed), ...]``; request ``i`` uses graph
+    ``i % distinct`` (seed ``seed0 + i % distinct``), so with
+    ``distinct=count`` every request is cold and with ``distinct=1``
+    every request after the first can be served warm.
+    """
+    if family not in CSR_FAMILY_BUILDERS:
+        raise ValueError(
+            f"unknown family {family!r}; choose from "
+            f"{sorted(CSR_FAMILY_BUILDERS)}"
+        )
+    if distinct is None:
+        distinct = count
+    distinct = max(1, min(int(distinct), int(count)))
+    builder = CSR_FAMILY_BUILDERS[family]
+    uniques = [
+        (builder(n, seed0 + i), seed0 + i) for i in range(distinct)
+    ]
+    return [uniques[i % distinct] for i in range(count)]
+
+
+class ServeClient:
+    """One TCP connection speaking the line-delimited-JSON protocol."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7465):
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> "ServeClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=32 * 1024 * 1024
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is None:
+            return
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown
+            pass
+        self._reader = self._writer = None
+
+    async def __aenter__(self) -> "ServeClient":
+        return await self.connect()
+
+    async def __aexit__(self, *_exc) -> bool:
+        await self.close()
+        return False
+
+    async def request(self, payload: dict) -> dict:
+        if self._writer is None:
+            raise RuntimeError("client not connected")
+        self._writer.write(json.dumps(payload).encode() + b"\n")
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    async def solve(
+        self, graph, seed: int = 0, solver: str | None = None
+    ) -> dict:
+        payload = {"op": "solve", "graph": graph_to_wire(graph), "seed": seed}
+        if solver is not None:
+            payload["solver"] = solver
+        return await self.request(payload)
+
+    async def stats(self) -> dict:
+        return (await self.request({"op": "stats"}))["stats"]
+
+    async def ping(self) -> bool:
+        return bool((await self.request({"op": "ping"})).get("ok"))
+
+
+async def run_loadgen(
+    host: str = "127.0.0.1",
+    port: int = 7465,
+    count: int = 50,
+    n: int = 24,
+    family: str = "gnm",
+    distinct: int | None = None,
+    concurrency: int = 8,
+    solver: str | None = None,
+    repeat: int = 1,
+) -> dict:
+    """Fire the synthetic workload at a server; return a summary dict.
+
+    ``repeat`` replays the whole workload that many times (the second
+    pass onward hits whatever the server cached from the first -- the
+    warm-path measurement).  Requests are spread round-robin over
+    ``concurrency`` connections, each connection strictly
+    request/response, so server-side batches form from genuinely
+    concurrent clients.
+    """
+    workload = make_workload(
+        count=count, n=n, family=family, distinct=distinct
+    ) * max(1, int(repeat))
+    queue: asyncio.Queue = asyncio.Queue()
+    for index, (graph, seed) in enumerate(workload):
+        queue.put_nowait((index, graph, seed))
+
+    latency = LatencyHistogram()
+    outcomes: list = [None] * len(workload)
+    failures = 0
+    sources: dict = {}
+
+    async def worker() -> None:
+        nonlocal failures
+        async with ServeClient(host, port) as client:
+            while True:
+                try:
+                    index, graph, seed = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                started = time.perf_counter()
+                response = await client.solve(graph, seed=seed, solver=solver)
+                latency.observe(time.perf_counter() - started)
+                outcomes[index] = response
+                if not response.get("ok"):
+                    failures += 1
+                source = response.get("source")
+                if source is not None:
+                    sources[source] = sources.get(source, 0) + 1
+
+    concurrency = max(1, min(int(concurrency), len(workload)))
+    started = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    elapsed = time.perf_counter() - started
+
+    values = sorted(
+        {
+            round(response["value"], 9)
+            for response in outcomes
+            if response and response.get("ok")
+        }
+    )
+    return {
+        "requests": len(workload),
+        "count": count,
+        "repeat": max(1, int(repeat)),
+        "distinct": distinct if distinct is not None else count,
+        "n": n,
+        "family": family,
+        "concurrency": concurrency,
+        "seconds": round(elapsed, 6),
+        "qps": round(len(workload) / elapsed, 2) if elapsed > 0 else None,
+        "failures": failures,
+        "sources": dict(sorted(sources.items())),
+        "latency": latency.as_dict(),
+        "distinct_values": values[:10],
+    }

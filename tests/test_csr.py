@@ -78,6 +78,68 @@ class TestCanonicalForm:
         assert graph.m == 2
         assert graph.edge_weight(0, 1) == 0
 
+
+class TestCanonicalHash:
+    """``canonical_hash`` is the serving tier's dedup/cache identity: equal
+    for any presentation of the same weighted graph, different for any
+    change in structure, weights, or labels."""
+
+    def test_permuted_edge_order_invariant(self):
+        edges = [(0, 1, 5.0), (1, 2, 3.0), (2, 3, 7.0), (3, 0, 2.0), (0, 2, 1.0)]
+        reference = CSRGraph.from_edge_list(edges).canonical_hash()
+        for seed in range(5):
+            shuffled = edges[:]
+            random.Random(seed).shuffle(shuffled)
+            flipped = [
+                (v, u, w) if seed % 2 else (u, v, w) for u, v, w in shuffled
+            ]
+            assert CSRGraph.from_edge_list(flipped).canonical_hash() == reference
+
+    def test_weight_sensitivity(self):
+        base = CSRGraph.from_edge_list([(0, 1, 5.0), (1, 2, 3.0), (2, 0, 1.0)])
+        bumped = CSRGraph.from_edge_list([(0, 1, 5.0), (1, 2, 3.0), (2, 0, 1.5)])
+        assert base.canonical_hash() != bumped.canonical_hash()
+
+    def test_structure_and_size_sensitivity(self):
+        path = CSRGraph.from_edge_list([(0, 1, 1.0), (1, 2, 1.0)])
+        triangle = CSRGraph.from_edge_list([(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)])
+        padded = CSRGraph.from_edge_list([(0, 1, 1.0), (1, 2, 1.0)], n=4)
+        assert len({g.canonical_hash() for g in (path, triangle, padded)}) == 3
+
+    def test_labels_distinguish_but_relabelings_differ(self):
+        plain = CSRGraph.from_edge_list([(0, 1, 2.0), (1, 2, 4.0)])
+        labelled = CSRGraph.from_edge_list([("a", "b", 2.0), ("b", "c", 4.0)])
+        relabelled = CSRGraph.from_edge_list([("x", "b", 2.0), ("b", "c", 4.0)])
+        hashes = {
+            plain.canonical_hash(),
+            labelled.canonical_hash(),
+            relabelled.canonical_hash(),
+        }
+        assert len(hashes) == 3
+        # Same labels in a different arrival order still hash equal.
+        reordered = CSRGraph.from_edge_list(
+            [("b", "c", 4.0), ("b", "a", 2.0)], nodes=["a", "b", "c"]
+        )
+        assert reordered.canonical_hash() == labelled.canonical_hash()
+
+    @pytest.mark.parametrize("family", sorted(CSR_FAMILY_BUILDERS))
+    def test_npz_round_trip_stable(self, family, tmp_path):
+        graph = CSR_FAMILY_BUILDERS[family](20, 3)
+        path = tmp_path / "graph.npz"
+        graph.save_npz(path)
+        assert CSRGraph.load_npz(path).canonical_hash() == graph.canonical_hash()
+
+    def test_networkx_round_trip_stable(self):
+        graph = CSR_FAMILY_BUILDERS["gnm"](24, 5)
+        assert (
+            CSRGraph.from_networkx(graph.to_networkx()).canonical_hash()
+            == graph.canonical_hash()
+        )
+
+    def test_hash_is_memoized(self):
+        graph = CSR_FAMILY_BUILDERS["gnm"](16, 0)
+        assert graph.canonical_hash() is graph.canonical_hash()
+
     def test_mixed_int_and_label_endpoints_stay_distinct(self):
         graph = CSRGraph.from_edge_list([("a", 0, 2)])
         assert graph.n == 2

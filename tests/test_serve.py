@@ -1,0 +1,507 @@
+"""The serving tier: packing cache, micro-batcher, service, TCP front end.
+
+The acceptance bar mirrors the session suite's: every result the service
+hands back -- cold fused batch, warm cached packing, result-cache hit, or
+in-flight coalesce -- is bit-identical to a direct ``minimum_cut`` call
+(value, witness, partition, round ledger) and passes ``result.verify()``.
+
+Run alone with ``pytest -m serve``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+import repro
+from repro.core.mincut import MinCutResult
+from repro.core.session import SweepFailure
+from repro.graphs import CSR_FAMILY_BUILDERS, CSRGraph
+from repro.serve import (
+    Batcher,
+    MinCutServer,
+    MinCutService,
+    PackingCache,
+    ServeClient,
+    ServeConfig,
+    graph_from_wire,
+    graph_to_wire,
+    make_workload,
+    packing_nbytes,
+    run_loadgen,
+)
+
+pytestmark = pytest.mark.serve
+
+
+def build(family: str, n: int, seed: int) -> CSRGraph:
+    return CSR_FAMILY_BUILDERS[family](n, seed)
+
+
+def assert_served_bit_identical(result, graph, seed, solver="oracle"):
+    """The serving contract: indistinguishable from a direct solve."""
+    assert isinstance(result, MinCutResult)
+    reference = repro.minimum_cut(
+        graph, seed=seed, solver=solver, compute_congest=False
+    )
+    assert result.value == reference.value
+    assert result.partition == reference.partition
+    assert result.cut_edges == reference.cut_edges
+    assert result.candidate.edges == reference.candidate.edges
+    assert result.best_tree_index == reference.best_tree_index
+    assert result.ma_rounds == reference.ma_rounds
+    assert result.stats["accountant"] == reference.stats["accountant"]
+    assert result.verify(graph).ok
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ----------------------------------------------------------------------
+# PackingCache
+# ----------------------------------------------------------------------
+class TestPackingCache:
+    def packed(self, n=18, seed=0):
+        session = repro.MinCutSolver(repro.SolverConfig(solver="oracle"))
+        handle = session.pack(build("gnm", n, seed), seed=seed)
+        handle.packing  # materialize so nbytes is meaningful
+        return handle
+
+    def test_put_get_round_trip(self):
+        cache = PackingCache(budget_bytes=1 << 30)
+        handle = self.packed()
+        nbytes = cache.put("k", handle)
+        assert nbytes == packing_nbytes(handle) > 0
+        assert cache.get("k") is handle
+        assert cache.nbytes == nbytes
+        assert len(cache) == 1
+
+    def test_byte_budget_enforced_lru_first(self):
+        handles = [self.packed(seed=s) for s in range(4)]
+        sizes = [packing_nbytes(h) for h in handles]
+        # Room for exactly three of the four entries.
+        cache = PackingCache(budget_bytes=sum(sizes[1:]))
+        for index, handle in enumerate(handles):
+            cache.put(index, handle)
+        assert cache.nbytes <= cache.budget_bytes
+        assert cache.keys() == [1, 2, 3]  # 0 was LRU, evicted
+        assert cache.evictions == 1
+        assert cache.get(0) is None
+
+    def test_get_refreshes_lru_order(self):
+        handles = [self.packed(seed=s) for s in range(3)]
+        cache = PackingCache(
+            budget_bytes=sum(packing_nbytes(h) for h in handles)
+        )
+        for index, handle in enumerate(handles):
+            cache.put(index, handle)
+        assert cache.get(0) is handles[0]  # 0 becomes MRU
+        cache.put(3, self.packed(seed=3))  # overflow evicts 1, not 0
+        assert 0 in cache and 1 not in cache
+
+    def test_oversized_entry_rejected_not_thrashed(self):
+        handle = self.packed()
+        cache = PackingCache(budget_bytes=packing_nbytes(handle) - 1)
+        assert cache.put("big", handle) == 0
+        assert len(cache) == 0 and cache.rejected == 1
+
+    def test_hit_miss_metrics(self):
+        cache = PackingCache(budget_bytes=1 << 30)
+        handle = self.packed()
+        nbytes = cache.put("k", handle)
+        assert cache.get("missing") is None
+        assert cache.get("k") is handle
+        assert cache.get("k") is handle
+        stats = cache.stats()
+        assert stats["hits"] == 2
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(2 / 3)
+        assert stats["hit_bytes"] == 2 * nbytes
+        assert stats["miss_bytes"] == nbytes
+
+    def test_evicted_then_refetched_bit_identical(self):
+        """Eviction costs a repack, never correctness."""
+        graph, seed = build("gnm", 20, 5), 5
+        session = repro.MinCutSolver(
+            repro.SolverConfig(solver="oracle", compute_congest=False)
+        )
+
+        def fresh():
+            handle = session.pack(graph, seed=seed)
+            handle.packing
+            return handle
+
+        cache = PackingCache(budget_bytes=1 << 30)
+        cache.put("k", fresh())
+        first = cache.get("k").solve()
+        cache.clear()  # the eviction
+        assert cache.get("k") is None
+        cache.put("k", fresh())  # refetched: packed from scratch
+        second = cache.get("k").solve()
+        assert first.value == second.value
+        assert first.partition == second.partition
+        assert first.cut_edges == second.cut_edges
+        assert first.stats["accountant"] == second.stats["accountant"]
+        assert_served_bit_identical(second, graph, seed)
+
+
+# ----------------------------------------------------------------------
+# Batcher
+# ----------------------------------------------------------------------
+class TestBatcher:
+    def test_window_coalesces_concurrent_puts(self):
+        batches = []
+
+        async def flush(batch):
+            batches.append(list(batch))
+
+        async def scenario():
+            batcher = Batcher(flush, batch_ms=20.0, max_batch=64)
+            await batcher.start()
+            await asyncio.gather(*(batcher.put(i) for i in range(5)))
+            await batcher.stop()
+            return batcher.stats()
+
+        stats = run(scenario())
+        assert batches == [[0, 1, 2, 3, 4]]
+        assert stats["batches"] == 1 and stats["max_batch_seen"] == 5
+
+    def test_max_batch_splits(self):
+        batches = []
+
+        async def flush(batch):
+            batches.append(list(batch))
+
+        async def scenario():
+            batcher = Batcher(flush, batch_ms=20.0, max_batch=3)
+            await batcher.start()
+            await asyncio.gather(*(batcher.put(i) for i in range(7)))
+            await batcher.stop()
+
+        run(scenario())
+        assert [len(b) for b in batches] == [3, 3, 1]
+        assert [i for b in batches for i in b] == list(range(7))
+
+    def test_zero_window_still_drains_backlog(self):
+        batches = []
+
+        async def flush(batch):
+            batches.append(list(batch))
+            await asyncio.sleep(0.01)  # backlog builds while flushing
+
+        async def scenario():
+            batcher = Batcher(flush, batch_ms=0.0, max_batch=64)
+            await batcher.start()
+            await asyncio.gather(*(batcher.put(i) for i in range(6)))
+            await batcher.stop()
+
+        run(scenario())
+        assert [i for b in batches for i in b] == list(range(6))
+        # The first item flushes alone; the backlog coalesces behind it.
+        assert len(batches) < 6
+
+    def test_stop_flushes_pending(self):
+        seen = []
+
+        async def flush(batch):
+            seen.extend(batch)
+
+        async def scenario():
+            batcher = Batcher(flush, batch_ms=10_000.0)
+            await batcher.start()
+            await batcher.put("x")
+            await batcher.stop()  # must not wait the 10 s window out
+
+        run(asyncio.wait_for(scenario(), timeout=5))
+        assert seen == ["x"]
+
+
+# ----------------------------------------------------------------------
+# MinCutService
+# ----------------------------------------------------------------------
+class TestMinCutService:
+    CONFIG = ServeConfig(batch_ms=2.0)
+
+    def test_cold_batch_bit_identical_and_verified(self):
+        graphs = [(build("gnm", 24, s), s) for s in range(5)]
+
+        async def scenario():
+            async with MinCutService(serve=self.CONFIG) as service:
+                results = await asyncio.gather(
+                    *(service.submit(g, seed=s) for g, s in graphs)
+                )
+                return results, service.stats()
+
+        results, stats = run(scenario())
+        for (graph, seed), result in zip(graphs, results):
+            assert_served_bit_identical(result, graph, seed)
+        assert stats["solved"] == 5
+        assert stats["batcher"]["max_batch_seen"] > 1  # they really fused
+
+    def test_mixed_families_and_sizes_in_one_batch(self):
+        graphs = [
+            (build("gnm", 24, 0), 0),
+            (build("cycle", 12, 1), 1),
+            (build("grid", 25, 2), 2),
+            (build("gnm", 18, 3), 3),
+        ]
+
+        async def scenario():
+            async with MinCutService(serve=self.CONFIG) as service:
+                return await asyncio.gather(
+                    *(service.submit(g, seed=s) for g, s in graphs)
+                )
+
+        for (graph, seed), result in zip(graphs, run(scenario())):
+            assert_served_bit_identical(result, graph, seed)
+
+    def test_result_cache_and_inflight_dedup(self):
+        graph = build("gnm", 24, 7)
+
+        async def scenario():
+            async with MinCutService(serve=self.CONFIG) as service:
+                first = await asyncio.gather(
+                    *(service.submit_info(graph, seed=7) for _ in range(4))
+                )
+                again, source = await service.submit_info(graph, seed=7)
+                return first, again, source, service.stats()
+
+        first, again, source, stats = run(scenario())
+        sources = sorted(src for _, src in first)
+        assert sources.count("solved") == 1
+        assert sources.count("inflight") == 3
+        assert source == "result-cache"
+        # One actual solve served five requests.
+        assert stats["solved"] == 1 and stats["requests"] == 5
+        values = {r.value for r, _ in first} | {again.value}
+        assert len(values) == 1
+        assert again is first[0][0]  # the literal same result object
+
+    def test_warm_packing_path_bit_identical(self):
+        """Dedup off: repeats re-solve from the cached packing."""
+        graphs = [(build("gnm", 24, s), s) for s in range(3)]
+        serve = ServeConfig(batch_ms=1.0, result_cache_size=0)
+
+        async def scenario():
+            async with MinCutService(serve=serve) as service:
+                for graph, seed in graphs:
+                    await service.submit(graph, seed=seed)
+                warm = [
+                    await service.submit_info(graph, seed=seed)
+                    for graph, seed in graphs
+                ]
+                return warm, service.stats()
+
+        warm, stats = run(scenario())
+        for (graph, seed), (result, source) in zip(graphs, warm):
+            assert source == "solved"  # no result cache -- it re-solved
+            assert result.stats["served_warm"] is True
+            assert_served_bit_identical(result, graph, seed)
+        assert stats["warm_solves"] == 3
+        assert stats["packing_cache"]["hits"] == 3
+
+    def test_failure_isolated_from_batch_mates(self):
+        good = [(build("gnm", 24, s), s) for s in range(3)]
+        disconnected = CSRGraph(4, [0, 2], [1, 3], [1.0, 1.0])
+
+        async def scenario():
+            async with MinCutService(serve=self.CONFIG) as service:
+                submissions = [service.submit(g, seed=s) for g, s in good]
+                submissions.append(service.submit(disconnected, seed=9))
+                return await asyncio.gather(*submissions), service.stats()
+
+        results, stats = run(scenario())
+        for (graph, seed), result in zip(good, results):
+            assert_served_bit_identical(result, graph, seed)
+        failure = results[-1]
+        assert isinstance(failure, SweepFailure)
+        assert failure.ok is False
+        assert failure.graph_hash == disconnected.canonical_hash()
+        assert stats["failures"] == 1 and stats["solved"] == 3
+
+    def test_failures_are_not_cached(self):
+        disconnected = CSRGraph(4, [0, 2], [1, 3], [1.0, 1.0])
+
+        async def scenario():
+            async with MinCutService(serve=self.CONFIG) as service:
+                first = await service.submit(disconnected, seed=0)
+                second, source = await service.submit_info(disconnected, seed=0)
+                return first, second, source
+
+        first, second, source = run(scenario())
+        assert isinstance(first, SweepFailure)
+        assert isinstance(second, SweepFailure)
+        assert source == "solved"  # re-attempted, not served from cache
+
+    def test_per_request_solver_override(self):
+        graph, seed = build("gnm", 20, 4), 4
+
+        async def scenario():
+            async with MinCutService(serve=self.CONFIG) as service:
+                return await asyncio.gather(
+                    service.submit(graph, seed=seed),
+                    service.submit(graph, seed=seed, solver="stoer-wagner"),
+                )
+
+        oracle, baseline = run(scenario())
+        assert_served_bit_identical(oracle, graph, seed)
+        assert baseline.solver == "stoer-wagner"
+        assert baseline.value == oracle.value
+        assert baseline.verify(graph).ok
+
+    def test_unknown_solver_raises_at_submit(self):
+        async def scenario():
+            async with MinCutService(serve=self.CONFIG) as service:
+                with pytest.raises(ValueError):
+                    await service.submit(build("gnm", 12, 0), solver="nope")
+
+        run(scenario())
+
+    def test_submit_before_start_raises(self):
+        async def scenario():
+            service = MinCutService(serve=self.CONFIG)
+            with pytest.raises(RuntimeError):
+                await service.submit(build("gnm", 12, 0))
+
+        run(scenario())
+
+    def test_networkx_input_converted_at_boundary(self):
+        csr = build("gnm", 20, 2)
+
+        async def scenario():
+            async with MinCutService(serve=self.CONFIG) as service:
+                via_nx, src_nx = await service.submit_info(
+                    csr.to_networkx(), seed=2
+                )
+                via_csr, src_csr = await service.submit_info(csr, seed=2)
+                return via_nx, src_nx, via_csr, src_csr
+
+        via_nx, _src, via_csr, src_csr = run(scenario())
+        assert_served_bit_identical(via_nx, csr, 2)
+        # The converted graph hashes equal to its CSR twin -> dedup hit.
+        assert src_csr == "result-cache"
+        assert via_csr is via_nx
+
+    def test_serve_config_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_BATCH_MS", "7.5")
+        monkeypatch.setenv("REPRO_SERVE_CACHE_BYTES", str(1 << 20))
+        config = ServeConfig.from_env()
+        assert config.batch_ms == 7.5
+        assert config.cache_bytes == 1 << 20
+        assert ServeConfig.from_env(batch_ms=1.0).batch_ms == 1.0
+        monkeypatch.setenv("REPRO_SERVE_BATCH_MS", "garbage")
+        assert ServeConfig.from_env().batch_ms is None
+
+    def test_latency_histogram_percentiles(self):
+        from repro.serve import LatencyHistogram
+
+        histogram = LatencyHistogram(boundaries=(0.001, 0.01, 0.1))
+        assert histogram.percentile(0.5) is None
+        for _ in range(98):
+            histogram.observe(0.0005)
+        histogram.observe(0.05)
+        histogram.observe(0.2)
+        assert histogram.percentile(0.50) == 0.001
+        assert histogram.percentile(0.99) == 0.1
+        snapshot = histogram.as_dict()
+        assert snapshot["count"] == 100
+        assert snapshot["max_ms"] == pytest.approx(200.0)
+
+
+# ----------------------------------------------------------------------
+# TCP front end + loadgen
+# ----------------------------------------------------------------------
+class TestWireFormat:
+    def test_graph_round_trip(self):
+        graph = build("gnm", 20, 3)
+        again = graph_from_wire(graph_to_wire(graph))
+        assert again.canonical_hash() == graph.canonical_hash()
+
+    def test_bad_graph_rejected(self):
+        with pytest.raises(ValueError):
+            graph_from_wire({"n": 3})
+
+    def test_make_workload_distinct_and_repeats(self):
+        workload = make_workload(count=10, n=16, distinct=3)
+        assert len(workload) == 10
+        hashes = [g.canonical_hash() for g, _ in workload]
+        assert len(set(hashes)) == 3
+        assert hashes[0] == hashes[3] == hashes[6]
+        with pytest.raises(ValueError):
+            make_workload(family="nope")
+
+
+class TestMinCutServer:
+    def test_tcp_solve_matches_direct(self):
+        graph, seed = build("gnm", 24, 1), 1
+
+        async def scenario():
+            async with MinCutServer(port=0) as server:
+                async with ServeClient(port=server.port) as client:
+                    assert await client.ping()
+                    response = await client.solve(graph, seed=seed)
+                    repeat = await client.solve(graph, seed=seed)
+                    stats = await client.stats()
+            return response, repeat, stats
+
+        response, repeat, stats = run(scenario())
+        reference = repro.minimum_cut(
+            graph, seed=seed, solver="oracle", compute_congest=False
+        )
+        assert response["ok"] is True
+        assert response["value"] == reference.value
+        assert response["source"] == "solved"
+        assert response["graph_hash"] == graph.canonical_hash()
+        assert sorted(response["partition_sizes"]) == sorted(
+            len(side) for side in reference.partition
+        )
+        assert repeat["source"] == "result-cache"
+        assert repeat["value"] == reference.value
+        assert stats["requests"] == 2
+
+    def test_bad_request_keeps_connection_alive(self):
+        async def scenario():
+            async with MinCutServer(port=0) as server:
+                async with ServeClient(port=server.port) as client:
+                    bad = await client.request({"op": "solve", "graph": None})
+                    worse = await client.request({"op": "launch-missiles"})
+                    good = await client.solve(build("gnm", 16, 0))
+            return bad, worse, good
+
+        bad, worse, good = run(scenario())
+        assert bad["ok"] is False and bad["error"] == "bad-request"
+        assert worse["ok"] is False
+        assert good["ok"] is True
+
+    def test_solve_failure_reported_structurally(self):
+        disconnected = CSRGraph(4, [0, 2], [1, 3], [1.0, 1.0])
+
+        async def scenario():
+            async with MinCutServer(port=0) as server:
+                async with ServeClient(port=server.port) as client:
+                    return await client.solve(disconnected)
+
+        response = run(scenario())
+        assert response["ok"] is False
+        assert response["stage"] == "validate"
+        assert response["graph_hash"] == disconnected.canonical_hash()
+
+    def test_loadgen_end_to_end_batches_and_caches(self):
+        async def scenario():
+            async with MinCutServer(port=0) as server:
+                summary = await run_loadgen(
+                    port=server.port, count=12, n=24, distinct=4,
+                    concurrency=4, repeat=2,
+                )
+                return summary, server.service.stats()
+
+        summary, stats = run(scenario())
+        assert summary["failures"] == 0
+        assert summary["requests"] == 24
+        assert summary["qps"] > 0
+        # 4 distinct graphs -> 4 real solves; everything else was dedup.
+        assert stats["solved"] == 4
+        assert sum(summary["sources"].values()) == 24
+        assert summary["sources"].get("result-cache", 0) >= 16

@@ -12,7 +12,7 @@ from repro.baselines import stoer_wagner_min_cut
 from repro.cli import build_parser, main
 from repro.core.registry import get_solver, registered_solvers
 from repro.core.session import GraphPacking, SolveContext
-from repro.graphs import CSR_FAMILY_BUILDERS, csr_random_connected_gnm
+from repro.graphs import CSR_FAMILY_BUILDERS, CSRGraph, csr_random_connected_gnm
 
 ALL_FAMILIES = sorted(CSR_FAMILY_BUILDERS)
 
@@ -393,6 +393,40 @@ class TestMinimumCutMany:
             repro.minimum_cut(g, seed=s, solver="oracle").value
             for s, g in enumerate(graphs)
         ]
+
+    def test_results_carry_sweep_index_and_graph_hash(self):
+        # Batchers re-associate results with requests by the identity the
+        # result itself carries -- no positional bookkeeping on the caller.
+        graphs = [build("gnm", 14 + 2 * i, i) for i in range(4)]
+        sweep = repro.minimum_cut_many(
+            graphs, repro.SolverConfig(solver="oracle"), seeds=[9, 8, 7, 6]
+        )
+        for index, (graph, result) in enumerate(zip(graphs, sweep)):
+            assert result.stats["sweep"] == {
+                "index": index,
+                "graph_hash": graph.canonical_hash(),
+            }
+
+    def test_networkx_results_carry_index_with_null_hash(self):
+        graphs = [build("gnm", 14, s).to_networkx() for s in range(2)]
+        sweep = repro.minimum_cut_many(
+            graphs, repro.SolverConfig(solver="oracle"), seeds=[0, 1]
+        )
+        for index, result in enumerate(sweep):
+            assert result.stats["sweep"] == {"index": index, "graph_hash": None}
+
+    def test_sweep_failures_carry_graph_hash(self):
+        good = build("gnm", 16, 0)
+        disconnected = CSRGraph(4, [0, 2], [1, 3], [1.0, 1.0])
+        sweep = repro.minimum_cut_many(
+            [good, disconnected], repro.SolverConfig(solver="oracle"),
+            seeds=[0, 1], strict=False,
+        )
+        failure = sweep[1]
+        assert isinstance(failure, repro.SweepFailure)
+        assert failure.graph_hash == disconnected.canonical_hash()
+        assert failure.as_dict()["graph_hash"] == disconnected.canonical_hash()
+        assert sweep[0].stats["sweep"]["graph_hash"] == good.canonical_hash()
 
 
 # ----------------------------------------------------------------------
