@@ -10,7 +10,7 @@ perf PRs have a committed baseline to diff against.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_benchmarks.py              # BENCH_PR8.json
+    PYTHONPATH=src python benchmarks/run_benchmarks.py              # BENCH_PR9.json
     PYTHONPATH=src python benchmarks/run_benchmarks.py --out X.json --repeats 5
     PYTHONPATH=src python benchmarks/run_benchmarks.py --compare BENCH_PR2.json
 
@@ -37,6 +37,15 @@ through :class:`repro.serve.MinCutService` and records
 ``qps_unbatched`` / ``qps_cold`` / ``qps_warm``; with ``--check`` the
 warm-cache qps must be >= 3x the unbatched qps (with bit-identical
 results) and the ``pytest -m serve`` suite must pass.
+
+The ``ma`` section (PR 9) is the compiled Minor-Aggregation acceptance
+check: the e13 (Boruvka schedule) and e14 (one fully-loaded round) rows
+must be bit-identical between the closure and compiled engines --
+results AND accounting ledgers -- with >= 10x compiled per-round
+throughput (enforced with ``--check``).  The ``ma_scale`` section runs
+the full packing round schedule on a 10^5-node network through the
+compiled backend and tabulates the charged MA rounds against the
+Theorem 17 Õ(D + sqrt(n)) CONGEST conversions.
 
 ``--compare BASELINE.json`` is the regression gate: it exits non-zero when
 any tracked metric (the ``kernel_micro`` timings, plus the ``csr`` and
@@ -88,6 +97,17 @@ CSR_SEED = 11
 MANY_COUNT = 50
 MANY_N = 24
 MANY_SPEEDUP_FLOOR = 2.0
+#: the PR 9 parity rows: closure-vs-compiled MA rounds on this instance
+#: (dense on purpose -- the closure engine pays per edge, the compiled
+#: engine per node, and real packing graphs are the dense sampled kind).
+MA_N = 2000
+MA_M = 40000
+MA_SEED = 9
+#: the PR 9 acceptance bar: compiled per-round throughput vs closure.
+MA_SPEEDUP_FLOOR = 10.0
+#: the PR 9 scale row: the full packing round schedule at CONGEST scale.
+MA_SCALE_N = 100_000
+MA_SCALE_M = 300_000
 #: the PR 8 acceptance bar: warm-cache served qps vs unbatched solves.
 SERVE_WARM_FLOOR = 3.0
 #: --compare fails when a tracked metric is more than this much slower.
@@ -264,6 +284,151 @@ def run_csr_bench(repeats: int) -> dict:
         f"  identical={identical}"
     )
     return rows
+
+
+def run_ma_bench(repeats: int) -> dict:
+    """Compiled vs closure Minor-Aggregation rounds (PR 9 acceptance).
+
+    The e13 row reruns Boruvka's full MA round schedule through both
+    engines; the e14 row times one fully-loaded round (contraction +
+    consensus + aggregation).  Both must be bit-identical (results AND
+    accounting ledgers) with compiled per-round throughput >=
+    ``MA_SPEEDUP_FLOOR``x; ``--check`` enforces the bar.
+    """
+    from repro.accounting import RoundAccountant
+    from repro.graphs import csr_random_connected_gnm
+    from repro.ma import (
+        MIN,
+        SUM,
+        ArrayMessage,
+        CompiledMinorAggregationEngine,
+        MinorAggregationEngine,
+        boruvka_mst,
+    )
+
+    rows: dict = {}
+    graph = csr_random_connected_gnm(MA_N, MA_M, seed=MA_SEED)
+
+    # -- e13 row: the Boruvka schedule, closure vs compiled --------------
+    a_ref, a_cmp = RoundAccountant(), RoundAccountant()
+    ref = MinorAggregationEngine(graph, accountant=a_ref)
+    cmp_ = CompiledMinorAggregationEngine(graph, accountant=a_cmp)
+    mst_ref = boruvka_mst(ref)  # warm run doubles as the parity check
+    mst_cmp = boruvka_mst(cmp_)
+    identical = mst_ref == mst_cmp and a_ref.by_label() == a_cmp.by_label()
+    rounds = ref.rounds_executed
+    closure_s, _ = _timed(lambda: boruvka_mst(ref), repeats)
+    compiled_s, _ = _timed(lambda: boruvka_mst(cmp_), repeats)
+    speedup = round(min(closure_s) / min(compiled_s), 2)
+    rows["e13_boruvka"] = {
+        "n": MA_N, "m": MA_M, "seed": MA_SEED,
+        "ma_rounds_per_mst": rounds,
+        "closure_best_seconds": round(min(closure_s), 6),
+        "compiled_best_seconds": round(min(compiled_s), 6),
+        "closure_round_ms": round(min(closure_s) / rounds * 1e3, 3),
+        "compiled_round_ms": round(min(compiled_s) / rounds * 1e3, 3),
+        "speedup": speedup,
+        "bit_identical": bool(identical),
+    }
+    print(
+        f"  e13_boruvka ({MA_N}n/{MA_M}m)  "
+        f"closure {min(closure_s) * 1e3:8.2f} ms  "
+        f"compiled {min(compiled_s) * 1e3:8.2f} ms"
+        f"  speedup {speedup:6.1f}x  identical={identical}"
+    )
+
+    # -- e14 row: one fully-loaded MA round ------------------------------
+    contract = {edge for edge, _u, _v in ref.edge_list[::3]}
+    node_input = {v: (v * 7) % 31 for v in ref.node_list}
+    message = ArrayMessage.vectorized(lambda yu, yv: (yv, yu))
+    kwargs = dict(
+        contract=contract, node_input=node_input, consensus_op=SUM,
+        edge_message=message, aggregate_op=MIN,
+    )
+    r_ref = ref.round(**kwargs)
+    r_cmp = cmp_.round(**kwargs)
+    identical = (
+        r_ref.supernode == r_cmp.supernode
+        and r_ref.consensus == r_cmp.consensus
+        and r_ref.aggregate == r_cmp.aggregate
+        and a_ref.by_label() == a_cmp.by_label()
+    )
+    closure_s, _ = _timed(lambda: ref.round(**kwargs), repeats)
+    compiled_s, _ = _timed(lambda: cmp_.round(**kwargs), repeats)
+    speedup = round(min(closure_s) / min(compiled_s), 2)
+    rows["e14_ma_round"] = {
+        "n": MA_N, "m": MA_M, "seed": MA_SEED,
+        "closure_best_seconds": round(min(closure_s), 6),
+        "compiled_best_seconds": round(min(compiled_s), 6),
+        "closure_round_ms": round(min(closure_s) * 1e3, 3),
+        "compiled_round_ms": round(min(compiled_s) * 1e3, 3),
+        "speedup": speedup,
+        "bit_identical": bool(identical),
+    }
+    print(
+        f"  e14_ma_round ({MA_N}n/{MA_M}m) "
+        f"closure {min(closure_s) * 1e3:8.2f} ms  "
+        f"compiled {min(compiled_s) * 1e3:8.2f} ms"
+        f"  speedup {speedup:6.1f}x  identical={identical}"
+    )
+    return rows
+
+
+def run_ma_scale_bench() -> dict:
+    """The full packing round schedule at 10^5 nodes, compiled backend.
+
+    Runs once (no repeats -- the row is about feasibility, not variance)
+    and converts the charged MA rounds to CONGEST rounds via Theorem 17:
+    the Õ(D + sqrt(n)) table the paper's universal-optimality claim is
+    stated against.  The diameter is a 2-sweep BFS estimate -- exact
+    all-sources BFS at this scale is the kind of centralized luxury the
+    simulation is not allowed to need.
+    """
+    import numpy as np
+
+    from repro.accounting import RoundAccountant
+    from repro.core.tree_packing import pack_trees
+    from repro.graphs import csr_random_connected_gnm
+    from repro.ma.simulation import congest_estimates
+
+    graph = csr_random_connected_gnm(MA_SCALE_N, MA_SCALE_M, seed=1)
+    levels = graph.bfs_levels(0)
+    levels = graph.bfs_levels(int(np.argmax(levels)))
+    diameter_est = int(levels.max())
+
+    acct = RoundAccountant()
+    start = time.perf_counter()
+    packing = pack_trees(
+        graph, seed=1, accountant=acct, approx_cut_value=24.0,
+        ma_backend="compiled",
+    )
+    seconds = time.perf_counter() - start
+    estimates = congest_estimates(
+        acct.total, n=MA_SCALE_N, diameter=diameter_est
+    )
+    d_plus_sqrt_n = diameter_est + MA_SCALE_N ** 0.5
+    row = {
+        "n": MA_SCALE_N, "m": MA_SCALE_M, "seed": 1,
+        "trees": len(packing.trees),
+        "ma_rounds": acct.total,
+        "seconds": round(seconds, 3),
+        "seconds_per_round": round(seconds / max(acct.total, 1), 6),
+        "diameter_estimate_2sweep": diameter_est,
+        "congest": {
+            "d_plus_sqrt_n": round(d_plus_sqrt_n, 1),
+            **{k: round(v, 1) for k, v in estimates.as_dict().items()},
+            "general_over_d_plus_sqrt_n": round(
+                estimates.general / d_plus_sqrt_n, 1
+            ),
+        },
+    }
+    print(
+        f"  packing_{MA_SCALE_N}n           "
+        f"{seconds:8.2f} s   {len(packing.trees)} trees, "
+        f"{acct.total:.0f} MA rounds, D~{diameter_est}, "
+        f"general CONGEST ~{estimates.general:.2e} rounds"
+    )
+    return row
 
 
 def run_many_bench(repeats: int) -> dict:
@@ -543,6 +708,7 @@ def _tracked_metrics(payload: dict) -> dict[str, float]:
         ("csr", "csr_best_seconds"),
         ("many", "many_best_seconds"),
         ("serve", "warm_best_seconds"),
+        ("ma", "compiled_best_seconds"),
     ):
         for label, row in payload.get(section, {}).items():
             if isinstance(row, dict) and key in row:  # skip error rows
@@ -605,7 +771,7 @@ def compare_against(baseline_path: str, payload: dict) -> int:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR8.json")
+    parser.add_argument("--out", default="BENCH_PR9.json")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
         "--check",
@@ -631,6 +797,10 @@ def main() -> int:
     csr = run_csr_bench(args.repeats)
     print("many-graph sweep:")
     many = run_many_bench(args.repeats)
+    print("minor-aggregation backends (closure vs compiled):")
+    ma = run_ma_bench(args.repeats)
+    print("minor-aggregation scale row:")
+    ma_scale = run_ma_scale_bench()
     print("serve tier (cold/warm/unbatched):")
     serve = run_serve_bench(args.repeats)
     if args.check:
@@ -641,7 +811,7 @@ def main() -> int:
     trace_overhead = run_trace_overhead_bench(args.repeats)
 
     payload = {
-        "schema": "repro-bench/8",
+        "schema": "repro-bench/9",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "repeats": args.repeats,
@@ -649,6 +819,8 @@ def main() -> int:
         "kernel_micro": micro,
         "csr": csr,
         "many": many,
+        "ma": ma,
+        "ma_scale": ma_scale,
         "serve": serve,
         "profile": profile,
         "trace_overhead": trace_overhead,
@@ -661,6 +833,7 @@ def main() -> int:
     ok = ok and csr["mincut_oracle"]["bit_identical"]
     ok = ok and all(row["bit_identical"] for row in many.values())
     ok = ok and serve[f"sweep{MANY_COUNT}"]["bit_identical"]
+    ok = ok and all(row["bit_identical"] for row in ma.values())
     fast_enough = all(row["speedup"] >= SPEEDUP_FLOOR for row in micro.values())
     many_fast_enough = all(
         row["speedup"] >= MANY_SPEEDUP_FLOOR for row in many.values()
@@ -679,6 +852,15 @@ def main() -> int:
     if args.check and not many_fast_enough:
         print(
             f"FAIL: many-graph sweep speedup below {MANY_SPEEDUP_FLOOR}x",
+            file=sys.stderr,
+        )
+        return 1
+    ma_fast_enough = all(
+        row["speedup"] >= MA_SPEEDUP_FLOOR for row in ma.values()
+    )
+    if args.check and not ma_fast_enough:
+        print(
+            f"FAIL: compiled MA round speedup below {MA_SPEEDUP_FLOOR}x",
             file=sys.stderr,
         )
         return 1

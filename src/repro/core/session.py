@@ -94,6 +94,7 @@ __all__ = [
 ]
 
 _BACKENDS = ("csr", "networkx")
+_MA_BACKENDS = ("compiled", "closure")
 
 
 @dataclass(frozen=True)
@@ -116,6 +117,12 @@ class SolverConfig:
         Tri-state kernel switch: ``None`` inherits the ambient
         ``REPRO_TREE_KERNEL`` setting, ``True``/``False`` pin the
         array-kernel / legacy paths for this session's solves.
+    ma_backend:
+        Minor-Aggregation engine backend for CSR packings: ``None``
+        inherits ``REPRO_MA_BACKEND`` (default ``"compiled"``, the
+        array-op engine), ``"closure"`` pins the per-edge closure
+        reference.  Both produce bit-identical packings and ledgers;
+        networkx inputs always run the closure engine.
     batch_bytes:
         Scratch budget for the stacked-tensor batched oracle;
         ``None`` inherits ``REPRO_BATCH_BYTES`` (default 256 MiB).
@@ -137,6 +144,7 @@ class SolverConfig:
     backend: str = "csr"
     num_trees: int | None = None
     tree_kernel: bool | None = None
+    ma_backend: str | None = None
     batch_bytes: int | None = None
     compute_congest: bool = True
     trace: bool | None = None
@@ -145,6 +153,11 @@ class SolverConfig:
         if self.backend not in _BACKENDS:
             raise ValueError(
                 f"unknown backend {self.backend!r}; choose from {_BACKENDS}"
+            )
+        if self.ma_backend is not None and self.ma_backend not in _MA_BACKENDS:
+            raise ValueError(
+                f"unknown ma_backend {self.ma_backend!r}; choose from "
+                f"{_MA_BACKENDS}"
             )
         if self.num_trees is not None and self.num_trees < 1:
             raise ValueError("num_trees must be positive")
@@ -160,16 +173,19 @@ class SolverConfig:
     ) -> "SolverConfig":
         """Capture the ``REPRO_*`` environment knobs into an explicit config.
 
-        ``REPRO_TREE_KERNEL``, ``REPRO_BATCH_BYTES``, and ``REPRO_TRACE``
-        become ``tree_kernel`` / ``batch_bytes`` / ``trace`` (absent or
-        unparsable values stay ``None`` = inherit at run time); keyword
-        overrides win.
+        ``REPRO_TREE_KERNEL``, ``REPRO_MA_BACKEND``, ``REPRO_BATCH_BYTES``,
+        and ``REPRO_TRACE`` become ``tree_kernel`` / ``ma_backend`` /
+        ``batch_bytes`` / ``trace`` (absent or unparsable values stay
+        ``None`` = inherit at run time); keyword overrides win.
         """
         env = os.environ if env is None else env
         fields: dict = {}
         raw = env.get("REPRO_TREE_KERNEL")
         if raw is not None:
             fields["tree_kernel"] = parse_kernel_flag(raw)
+        raw = env.get("REPRO_MA_BACKEND")
+        if raw is not None and raw.strip().lower() in _MA_BACKENDS:
+            fields["ma_backend"] = raw.strip().lower()
         raw = env.get("REPRO_BATCH_BYTES")
         if raw is not None:
             try:
@@ -282,6 +298,7 @@ class GraphPacking:
                         seed=self.seed,
                         num_trees=self.num_trees,
                         accountant=acct,
+                        ma_backend=self.config.ma_backend,
                     )
             after = acct.by_label()
             self._packing_charges = {
@@ -1100,7 +1117,8 @@ def _solve_many_oracle(
             "sweep.pack_many", graphs=len(graphs), acct_prefix="packing:"
         ):
             many = pack_trees_many(
-                graphs, seeds, num_trees=cfg.num_trees
+                graphs, seeds, num_trees=cfg.num_trees,
+                ma_backend=cfg.ma_backend,
             )
 
         # Stage 2: stacked BFS/Euler arrays -- all trees of all graphs

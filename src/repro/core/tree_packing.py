@@ -21,13 +21,16 @@ Two execution paths share every decision:
 
 * **networkx** input runs the engine-genuine Boruvka (one Minor-Aggregation
   round per phase);
-* **CSR** input (:class:`~repro.graphs.csr.CSRGraph`) runs a vectorized
-  Boruvka over the flat edge table -- per phase one component labelling,
-  one masked ``minimum.at`` scatter, zero networkx objects -- with the
-  *same* deterministic tie-break (``(cost, str(edge))``), the same
-  sampling draws (one binomial over the canonical edge order), and the
-  same round charges, so both paths pack identical trees for identical
-  graphs.  CSR trees are returned as plain adjacency mappings (what
+* **CSR** input (:class:`~repro.graphs.csr.CSRGraph`) drives the engine
+  selected by ``ma_backend`` (``REPRO_MA_BACKEND``): the default
+  *compiled* engine lowers the whole Boruvka contraction sequence to
+  array passes -- per phase one component labelling, one masked
+  ``minimum.at`` scatter, zero networkx objects -- with the *same*
+  deterministic tie-break (``(cost, str(edge))``), the same sampling
+  draws (one binomial over the canonical edge order), and the same round
+  charges as the *closure* reference engine, so both backends (and both
+  graph representations) pack identical trees for identical graphs.
+  CSR trees are returned as plain adjacency mappings (what
   :class:`~repro.trees.rooted.RootedTree` consumes directly).
 """
 
@@ -35,14 +38,20 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import networkx as nx
 import numpy as np
 
 from repro.accounting import RoundAccountant, log2ceil
-from repro.graphs.csr import CSRGraph, DisjointSets
+from repro.graphs.csr import CSRGraph, merge_components
 from repro.ma.boruvka import boruvka_mst
+from repro.ma.compiled import (
+    CompiledMinorAggregationEngine,
+    compiled_boruvka_rows,
+    lower_edge_cost,
+    resolve_ma_backend,
+)
 from repro.ma.engine import MinorAggregationEngine
 from repro.obs import trace as obs_trace
 from repro.trees.rooted import Edge, _node_sort_key, edge_key
@@ -62,6 +71,11 @@ class TreePacking:
     approx_cut_value: float
     ma_rounds: float
     duplicates_removed: int = 0
+    #: CSR path only: per-tree (edge_u, edge_v) arrays in insertion order
+    #: (what the batched forest builds consume); ``None`` on the nx path.
+    tree_edge_arrays: "list[tuple[np.ndarray, np.ndarray]] | None" = field(
+        default=None, repr=False, compare=False
+    )
 
 
 def _edge_order_key(edge: Edge) -> tuple:
@@ -130,12 +144,19 @@ def pack_trees(
     num_trees: int | None = None,
     accountant: RoundAccountant | None = None,
     approx_cut_value: float | None = None,
+    ma_backend: str | None = None,
 ) -> TreePacking:
-    """Theorem 12: pack Θ(log n) spanning trees by greedy load-balancing."""
+    """Theorem 12: pack Θ(log n) spanning trees by greedy load-balancing.
+
+    ``ma_backend`` selects the Minor-Aggregation engine on the CSR path
+    (``None`` inherits ``REPRO_MA_BACKEND``, default compiled); the
+    networkx path always runs the closure reference engine -- there are no
+    flat arrays to lower onto.  Both backends pack bit-identical trees.
+    """
     if isinstance(graph, CSRGraph):
         return _pack_trees_csr(
             graph, seed=seed, num_trees=num_trees, accountant=accountant,
-            approx_cut_value=approx_cut_value,
+            approx_cut_value=approx_cut_value, ma_backend=ma_backend,
         )
     n = graph.number_of_nodes()
     if n < 2:
@@ -230,6 +251,7 @@ def _pack_trees_csr(
     num_trees: int | None,
     accountant: RoundAccountant | None,
     approx_cut_value: float | None,
+    ma_backend: str | None = None,
 ) -> TreePacking:
     n = graph.n
     if n < 2:
@@ -267,21 +289,25 @@ def _pack_trees_csr(
     eu, ev = packing_graph.edge_u, packing_graph.edge_v
     multiplicity = np.maximum(packing_graph.edge_w, 1e-12)
     uses = np.zeros(packing_graph.m, dtype=np.int64)
-    # The engine path breaks cost ties by str(edge) where the edge is the
-    # *edge_key* tuple in label space (endpoints ordered by string, not by
-    # index -- edge_key(4, 10) is (10, 4)).  Precompute those exact
-    # strings once as an integer rank so the vectorized argmin agrees tie
-    # for tie, on labelled graphs too.
+    # Label-space canonical keys per edge row: the tie-break and the tree
+    # insertion order both live in edge_key space (endpoints ordered by
+    # string, not by index -- edge_key(4, 10) is (10, 4)), so both engine
+    # backends and the networkx path agree tie for tie.
     node_labels = graph.node_labels()
     canonical = [
         edge_key(node_labels[u], node_labels[v])
         for u, v in zip(eu.tolist(), ev.tolist())
     ]
-    labels = np.array([str(pair) for pair in canonical], dtype=np.str_)
-    str_rank = np.empty(len(labels), dtype=np.int64)
-    str_rank[np.argsort(labels)] = np.arange(len(labels), dtype=np.int64)
+
+    backend = resolve_ma_backend(ma_backend)
+    if backend == "compiled":
+        engine = CompiledMinorAggregationEngine(packing_graph, accountant=acct)
+    else:
+        engine = MinorAggregationEngine(packing_graph, accountant=acct)
+        row_of = {edge: row for row, edge in enumerate(canonical)}
 
     trees: list[dict[int, list[int]]] = []
+    tree_edges: list[tuple[np.ndarray, np.ndarray]] = []
     seen: set[frozenset] = set()
     duplicates = 0
     with obs_trace.span(
@@ -289,9 +315,25 @@ def _pack_trees_csr(
     ):
         for _iteration in range(num_trees):
             cost = uses / multiplicity
-            mst_ids = _boruvka_csr(
-                n, eu, ev, cost, str_rank, acct, "packing:boruvka"
-            )
+            if backend == "compiled":
+                mst_ids = engine.original_rows(
+                    compiled_boruvka_rows(
+                        engine,
+                        lower_edge_cost(engine, cost),
+                        label="packing:boruvka",
+                    )
+                )
+            else:
+                mst_keys = boruvka_mst(
+                    engine,
+                    edge_cost=lambda e: cost[row_of[e]],
+                    label="packing:boruvka",
+                )
+                mst_ids = np.fromiter(
+                    sorted(row_of[key] for key in mst_keys),
+                    dtype=np.int64,
+                    count=len(mst_keys),
+                )
             uses[mst_ids] += 1
             signature = frozenset(mst_ids.tolist())
             if signature in seen:
@@ -311,6 +353,8 @@ def _pack_trees_csr(
                 adjacency[u].append(v)
                 adjacency[v].append(u)
             trees.append(adjacency)
+            chosen_arr = np.asarray(chosen, dtype=np.int64)
+            tree_edges.append((eu[chosen_arr], ev[chosen_arr]))
     return TreePacking(
         trees=trees,
         sampled=sampled,
@@ -318,6 +362,7 @@ def _pack_trees_csr(
         approx_cut_value=approx_cut_value,
         ma_rounds=acct.total,
         duplicates_removed=duplicates,
+        tree_edge_arrays=tree_edges,
     )
 
 
@@ -345,6 +390,7 @@ def pack_trees_many(
     seeds: "list[int]",
     num_trees: int | None = None,
     accountants: "list[RoundAccountant] | None" = None,
+    ma_backend: str | None = None,
 ) -> ManyPacking:
     """Pack spanning trees for many CSR graphs in one vectorized sweep.
 
@@ -370,6 +416,22 @@ def pack_trees_many(
         if accountants is not None
         else [RoundAccountant() for _ in range(count_of)]
     )
+
+    if resolve_ma_backend(ma_backend) == "closure":
+        # Reference mode: pack each graph serially on the closure engine
+        # (the fused path below *is* the array backend).
+        packings = [
+            _pack_trees_csr(
+                graph, seed=seed, num_trees=num_trees, accountant=acct,
+                approx_cut_value=None, ma_backend="closure",
+            )
+            for graph, seed, acct in zip(graphs, seeds, accts)
+        ]
+        return ManyPacking(
+            packings=packings,
+            accountants=accts,
+            tree_edge_arrays=[p.tree_edge_arrays for p in packings],
+        )
 
     # Per-graph preamble: approx min-cut, sampling regime, edge-order
     # ranks -- identical, call for call, to ``_pack_trees_csr``.
@@ -502,7 +564,7 @@ def pack_trees_many(
                 # merge) and the serial "no fresh edges" break is dead code.
                 fresh = order[best[best < sentinel]]
                 in_tree[fresh] = True
-                comp = _merge_components(comp, all_eu[fresh], all_ev[fresh])
+                comp = merge_components(comp, all_eu[fresh], all_ev[fresh])
             # Inactive graphs selected no edges this iteration, so one global
             # add updates exactly the serial per-graph ``uses[mst_ids] += 1``.
             uses += in_tree
@@ -545,81 +607,7 @@ def pack_trees_many(
     )
 
 
-def _merge_components(
-    labels: np.ndarray, u: np.ndarray, v: np.ndarray
-) -> np.ndarray:
-    """Union the components of the ``(u, v)`` pairs, fully vectorized.
-
-    ``labels`` maps node -> component representative and must be
-    idempotent (``labels[labels] == labels``); the return value is again
-    idempotent.  Min-hooking plus pointer jumping: each round hooks every
-    still-split pair's larger root under the smaller one and compresses,
-    converging in O(log) rounds.  Which representative a component ends
-    up with is irrelevant to callers (only the partition matters), so
-    this is decision-free with respect to the serial union-find.
-    """
-    ru, rv = labels[u], labels[v]
-    while True:
-        lo = np.minimum(ru, rv)
-        hi = np.maximum(ru, rv)
-        split = lo != hi
-        if not split.any():
-            break
-        np.minimum.at(labels, hi[split], lo[split])
-        while True:
-            compressed = labels[labels]
-            if np.array_equal(compressed, labels):
-                break
-            labels = compressed
-        ru, rv = labels[ru], labels[rv]
-    return labels
-
-
-def _boruvka_csr(
-    n: int,
-    eu: np.ndarray,
-    ev: np.ndarray,
-    cost: np.ndarray,
-    str_rank: np.ndarray,
-    acct: RoundAccountant,
-    label: str,
-) -> np.ndarray:
-    """Vectorized Boruvka over the flat edge table.
-
-    Per phase: one union-find labelling, one masked ``minimum.at`` over the
-    (cost, str)-order positions, one union sweep -- the exact per-supernode
-    minimum the engine's MIN-aggregation computes, at numpy speed.  Charges
-    one Minor-Aggregation round per phase, like the engine path.
-    """
-    m = len(eu)
-    order = np.lexsort((str_rank, cost))
-    position = np.empty(m, dtype=np.int64)
-    position[order] = np.arange(m, dtype=np.int64)
-
-    components = DisjointSets(n)
-    in_tree = np.zeros(m, dtype=bool)
-    phases = log2ceil(n) + 1
-    sentinel = m
-    for _phase in range(phases):
-        acct.charge(1, label)
-        find = components.find
-        component = np.fromiter(
-            (find(i) for i in range(n)), dtype=np.int64, count=n
-        )
-        cu = component[eu]
-        cv = component[ev]
-        outgoing = cu != cv
-        if not outgoing.any():
-            break
-        best = np.full(n, sentinel, dtype=np.int64)
-        np.minimum.at(best, cu[outgoing], position[outgoing])
-        np.minimum.at(best, cv[outgoing], position[outgoing])
-        winners = np.unique(best[best < sentinel])
-        chosen = order[winners]
-        fresh = chosen[~in_tree[chosen]]
-        if not len(fresh):
-            break
-        in_tree[fresh] = True
-        for e in fresh.tolist():
-            components.union(int(eu[e]), int(ev[e]))
-    return np.nonzero(in_tree)[0]
+# ``_boruvka_csr``/``_merge_components`` used to live here; the compiled
+# Minor-Aggregation engine (repro.ma.compiled.compiled_boruvka_rows) now
+# runs the same decision-identical sequence as charged engine rounds, and
+# the vectorized union moved to repro.graphs.csr.merge_components.

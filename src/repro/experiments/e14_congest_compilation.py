@@ -14,9 +14,11 @@ import random
 
 from repro.experiments.common import ExperimentResult
 from repro.graphs import cycle_graph, grid_graph, random_connected_gnm
+from repro.graphs.csr import CSRGraph
 from repro.ma.compile import compile_ma_round
+from repro.ma.compiled import CompiledMinorAggregationEngine
 from repro.ma.engine import MinorAggregationEngine
-from repro.ma.operators import SUM
+from repro.ma.operators import SUM, ArrayMessage
 from repro.trees.rooted import edge_key
 
 
@@ -41,19 +43,31 @@ def run(quick: bool = True) -> ExperimentResult:
             }
         inputs = {v: hash(str(v)) % 97 for v in graph.nodes()}
         edge_fn = lambda e, u, v, yu, yv: (yu + yv, yu - yv)
+        message = ArrayMessage.vectorized(lambda yu, yv: (yu + yv, yu - yv))
         engine = MinorAggregationEngine(graph)
         want = engine.round(
             contract=contract, node_input=inputs, consensus_op=SUM,
-            edge_message=edge_fn, aggregate_op=SUM,
+            edge_message=message, aggregate_op=SUM,
         )
         got = compile_ma_round(
             graph, contract=contract, node_input=inputs, consensus_op=SUM,
             edge_message=edge_fn, aggregate_op=SUM,
         )
+        # Three-way identity: the CONGEST compile-down AND the array-op
+        # backend both reproduce the closure engine's round bit for bit.
+        arrayed = CompiledMinorAggregationEngine(CSRGraph.from_networkx(graph))
+        fast = arrayed.round(
+            contract=contract, node_input=inputs, consensus_op=SUM,
+            edge_message=message, aggregate_op=SUM,
+        )
         match = (
             got.result.supernode == want.supernode
             and got.result.consensus == want.consensus
             and got.result.aggregate == want.aggregate
+            and fast.supernode == want.supernode
+            and fast.consensus == want.consensus
+            and fast.aggregate == want.aggregate
+            and arrayed.compiled_rounds == 1
         )
         all_match &= match
         rows.append(

@@ -46,7 +46,7 @@ from repro.errors import GraphValidationError
 
 Node = Hashable
 
-__all__ = ["CSRGraph", "DisjointSets", "validate_weights"]
+__all__ = ["CSRGraph", "DisjointSets", "merge_components", "validate_weights"]
 
 
 class DisjointSets:
@@ -75,6 +75,39 @@ class DisjointSets:
             return False
         self.parent[ra] = rb
         return True
+
+
+def merge_components(
+    labels: np.ndarray, u: np.ndarray, v: np.ndarray
+) -> np.ndarray:
+    """Union the components of the ``(u, v)`` pairs, fully vectorized.
+
+    ``labels`` maps node -> component representative and must be
+    idempotent (``labels[labels] == labels``); the return value is again
+    idempotent.  Min-hooking plus pointer jumping: each round hooks every
+    still-split pair's larger root under the smaller one and compresses,
+    converging in O(log) rounds.  Which representative a component ends
+    up with is irrelevant to callers (only the partition matters), so
+    this is decision-free with respect to the serial union-find.
+
+    Shared by the batched tree-packing Boruvka and the compiled
+    Minor-Aggregation engine's contraction step.
+    """
+    ru, rv = labels[u], labels[v]
+    while True:
+        lo = np.minimum(ru, rv)
+        hi = np.maximum(ru, rv)
+        split = lo != hi
+        if not split.any():
+            break
+        np.minimum.at(labels, hi[split], lo[split])
+        while True:
+            compressed = labels[labels]
+            if np.array_equal(compressed, labels):
+                break
+            labels = compressed
+        ru, rv = labels[ru], labels[rv]
+    return labels
 
 
 def validate_weights(weights, context: str = "graph") -> np.ndarray:

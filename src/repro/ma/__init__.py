@@ -4,12 +4,26 @@
   aggregation rounds with nodes *and* edges as computational units.
 * :mod:`repro.ma.operators` — Õ(1)-bit aggregation operators, including the
   deterministic Misra-Gries heavy-hitter sketch (Example 8).
+* :mod:`repro.ma.compiled` — whole schedules lowered to array passes over
+  CSR edge tables (``reduceat`` consensus, scatter-reduce aggregation,
+  vectorized contraction); the closure engine stays the bit-identical
+  reference, selected via ``REPRO_MA_BACKEND``/``SolverConfig(ma_backend)``.
 * :mod:`repro.ma.virtual` — the virtual-node extension (Section 4.1).
 * :mod:`repro.ma.boruvka` — Boruvka's MST, the paper's instructive example.
 * :mod:`repro.ma.simulation` — Theorem 17 compile-down cost model to CONGEST.
 """
 
-from repro.ma.engine import MinorAggregationEngine, MARoundResult
+from repro.ma.engine import (
+    MinorAggregationEngine,
+    MARoundResult,
+    node_order_key,
+)
+from repro.ma.compiled import (
+    CompiledMinorAggregationEngine,
+    compiled_boruvka_rows,
+    make_engine,
+    resolve_ma_backend,
+)
 from repro.ma.operators import (
     AND,
     DICT_SUM,
@@ -19,7 +33,9 @@ from repro.ma.operators import (
     OR,
     SET_UNION,
     SUM,
+    ArrayMessage,
     MisraGries,
+    NumericForm,
     Operator,
     estimate_bits,
     misra_gries_operator,
@@ -30,8 +46,15 @@ from repro.ma.simulation import CongestEstimates, congest_estimates
 
 __all__ = [
     "MinorAggregationEngine",
+    "CompiledMinorAggregationEngine",
     "MARoundResult",
+    "make_engine",
+    "resolve_ma_backend",
+    "compiled_boruvka_rows",
+    "node_order_key",
     "Operator",
+    "NumericForm",
+    "ArrayMessage",
     "SUM",
     "MIN",
     "MAX",

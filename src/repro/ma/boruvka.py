@@ -6,14 +6,26 @@ edge via a min-aggregation, the chosen edges are contracted, and O(log n)
 phases suffice.  We run it genuinely through the engine -- one engine round
 per phase -- and it powers the greedy tree packing (Theorem 12), which needs
 a minimum-cost spanning tree per packing iteration.
+
+On a :class:`~repro.ma.compiled.CompiledMinorAggregationEngine` with
+numeric costs the whole contraction sequence is lowered to array passes
+(:func:`~repro.ma.compiled.compiled_boruvka_rows`): decision-identical
+(same (cost, str) tie-break), charge-identical (one round per phase), just
+without the per-edge closure calls.  Non-numeric costs run the generic
+closure rounds on either engine.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Hashable
 
+from repro.ma.compiled import (
+    CompiledMinorAggregationEngine,
+    compiled_boruvka_rows,
+    lower_edge_cost,
+)
 from repro.ma.engine import MinorAggregationEngine
-from repro.ma.operators import MIN
+from repro.ma.operators import FIRST, MIN
 from repro.accounting import log2ceil
 from repro.trees.rooted import edge_key
 
@@ -28,13 +40,21 @@ def boruvka_mst(
     """Compute an MST; returns the set of chosen (canonical) edges.
 
     ``edge_cost`` maps an edge to its cost (defaults to the topology's
-    ``weight``).  Ties are broken by the edge's stable string key,
+    ``weight``); arrays aligned with the engine's edge order are accepted
+    on compiled engines.  Ties are broken by the edge's stable string key,
     making every phase deterministic -- with distinct effective costs
     Boruvka's chosen-edge sets are acyclic, the classic correctness argument.
 
     Works on networkx- and CSR-backed engines alike (node/edge access goes
     through the engine's frozen enumerations).
     """
+    if isinstance(engine, CompiledMinorAggregationEngine):
+        lowered = lower_edge_cost(engine, edge_cost)
+        if lowered is not None:
+            rows = compiled_boruvka_rows(engine, lowered, label=label)
+            edge_list = engine.edge_list
+            return {edge_list[r][0] for r in rows.tolist()}
+
     if edge_cost is None:
         cost = engine.edge_weight
     elif callable(edge_cost):
@@ -53,7 +73,7 @@ def boruvka_mst(
         result = engine.round(
             contract=in_mst,
             node_input=None,
-            consensus_op=None,
+            consensus_op=FIRST,
             edge_message=lambda edge, u, v, yu, yv: (
                 (key_of(edge), edge),
                 (key_of(edge), edge),

@@ -28,7 +28,7 @@ from typing import Any, Callable, Hashable
 import networkx as nx
 
 from repro.congest.network import CongestNetwork, NodeContext, NodeProgram
-from repro.ma.engine import MARoundResult, MinorAggregationEngine
+from repro.ma.engine import MARoundResult, MinorAggregationEngine, node_order_key
 from repro.ma.operators import Operator
 from repro.trees.rooted import edge_key
 
@@ -36,6 +36,8 @@ Node = Hashable
 
 
 def _node_key(node: Node) -> tuple[str, str]:
+    # Leader election floods (type, str) tuples -- a deterministic total
+    # order is all it needs; supernode *ids* use node_order_key below.
     return (type(node).__name__, str(node))
 
 
@@ -249,7 +251,9 @@ def compile_ma_round(
         groups.setdefault(uf[node], []).append(node)
     supernode = {}
     for members in groups.values():
-        sid = min(members, key=_node_key)
+        # Same "minimum member ID" rule as the engine: natural per-type
+        # order (9 before 10 for integer labels), not string order.
+        sid = min(members, key=node_order_key)
         for member in members:
             supernode[member] = sid
 

@@ -18,14 +18,16 @@ executed round is charged to the :class:`~repro.accounting.RoundAccountant`.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable
 
 import networkx as nx
 
 from repro.accounting import RoundAccountant
+from repro.errors import SolverError
 from repro.graphs.csr import CSRGraph
-from repro.ma.operators import Operator, estimate_bits
+from repro.ma.operators import FIRST, ArrayMessage, Operator, estimate_bits
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.trees.rooted import edge_key
@@ -38,7 +40,7 @@ Edge = tuple
 class MARoundResult:
     """Everything a node/edge legitimately learns from one round."""
 
-    #: supernode id (minimum member id by stable order) per node
+    #: supernode id (minimum member id, natural per-type order) per node
     supernode: dict[Node, Node]
     #: consensus value of the node's supernode, per node
     consensus: dict[Node, Any]
@@ -52,8 +54,45 @@ class MARoundResult:
         return members
 
 
+class _NodeOrderKey:
+    """Total order on arbitrary hashable node labels.
+
+    Labels of different types are segregated by type name; within a type
+    the *natural* ``<`` order applies (so integer labels compare
+    numerically -- ``9 < 10``, not the string order ``"10" < "9"``), with
+    a deterministic ``str`` fallback for same-typed values that don't
+    support ``<`` themselves.
+    """
+
+    __slots__ = ("tname", "value")
+
+    def __init__(self, value: Node):
+        self.tname = type(value).__name__
+        self.value = value
+
+    def __lt__(self, other: "_NodeOrderKey") -> bool:
+        if self.tname != other.tname:
+            return self.tname < other.tname
+        try:
+            return self.value < other.value
+        except TypeError:
+            return str(self.value) < str(other.value)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, _NodeOrderKey)
+            and self.tname == other.tname
+            and self.value == other.value
+        )
+
+
+def node_order_key(node: Node) -> _NodeOrderKey:
+    """Sort key implementing the supernode-id order (min *natural* member)."""
+    return _NodeOrderKey(node)
+
+
 def _stable_min(ids: Iterable[Node]) -> Node:
-    return min(ids, key=lambda x: (type(x).__name__, str(x)))
+    return min(ids, key=node_order_key)
 
 
 class MinorAggregationEngine:
@@ -88,11 +127,20 @@ class MinorAggregationEngine:
             labels = graph.node_labels()
             self.node_list: list[Node] = labels
             # Canonical edge-table order; self-loops are never minor edges.
-            self.edge_list: list[tuple[Edge, Node, Node]] = [
-                (edge_key(labels[a], labels[b]), labels[a], labels[b])
-                for a, b in zip(graph.edge_u.tolist(), graph.edge_v.tolist())
-                if a != b
-            ]
+            # Weights are captured alongside so per-edge hot paths never go
+            # back through two index_of lookups per call.
+            self.edge_list: list[tuple[Edge, Node, Node]] = []
+            self._weight_of: dict[Edge, Any] = {}
+            for a, b, w in zip(
+                graph.edge_u.tolist(),
+                graph.edge_v.tolist(),
+                graph.edge_w.tolist(),
+            ):
+                if a == b:
+                    continue
+                edge = edge_key(labels[a], labels[b])
+                self.edge_list.append((edge, labels[a], labels[b]))
+                self._weight_of[edge] = float(w)
         else:
             if graph.number_of_nodes() == 0:
                 raise ValueError("empty graph")
@@ -101,15 +149,21 @@ class MinorAggregationEngine:
             self.node_list = list(graph.nodes())
             # Frozen once in graph.edges() order: the per-round edge walk
             # reuses precomputed canonical keys instead of re-deriving them.
-            self.edge_list = [
-                (edge_key(u, v), u, v) for u, v in graph.edges() if u != v
-            ]
+            self.edge_list = []
+            self._weight_of = {}
+            for u, v in graph.edges():
+                if u == v:
+                    continue
+                edge = edge_key(u, v)
+                self.edge_list.append((edge, u, v))
+                self._weight_of[edge] = graph[u][v].get("weight", 1)
         self.graph = graph
         self.n = len(self.node_list)
         self.acct = accountant or RoundAccountant()
         self.measure_bits = measure_bits
         self.rounds_executed = 0
         self._edge_keys: frozenset | None = None
+        self._row_index: dict[Edge, int] | None = None
 
     def edge_keys(self) -> frozenset:
         """All canonical edge keys (cached; used by full-contraction rounds)."""
@@ -117,8 +171,52 @@ class MinorAggregationEngine:
             self._edge_keys = frozenset(edge for edge, _u, _v in self.edge_list)
         return self._edge_keys
 
+    def edge_row_index(self) -> dict[Edge, int]:
+        """Canonical edge key -> position in ``edge_list`` (cached)."""
+        if self._row_index is None:
+            self._row_index = {
+                edge: i for i, (edge, _u, _v) in enumerate(self.edge_list)
+            }
+        return self._row_index
+
+    def _closure_of_array_message(self, message: ArrayMessage):
+        """Evaluate a declarative :class:`ArrayMessage` row by row.
+
+        The closure engine's faithful reading of the array form: constant
+        payloads index into the frozen ``edge_list`` order, consensus-built
+        payloads apply the (elementwise) builder per edge.
+        """
+        message.check_length(len(self.edge_list))
+        if message.build is not None:
+            build = message.build
+
+            def closure(edge, _u, _v, y_u, y_v):
+                return build(y_u, y_v)
+
+            return closure
+        rows = self.edge_row_index()
+        z_u = message.toward_u.tolist()
+        z_v = message.toward_v.tolist()
+
+        def closure(edge, _u, _v, _yu, _yv):
+            row = rows[edge]
+            return (z_u[row], z_v[row])
+
+        return closure
+
     def edge_weight(self, edge: Edge) -> float:
-        """Weight of a (canonical) edge on the underlying topology."""
+        """Weight of a (canonical) edge on the underlying topology.
+
+        Served from the mapping frozen at ``__init__``; non-canonical
+        orientations (or self-loops, which never enter the edge list) fall
+        back to the direct topology lookup they always used.
+        """
+        try:
+            return self._weight_of[edge]
+        except (KeyError, TypeError):
+            return self._edge_weight_uncached(edge)
+
+    def _edge_weight_uncached(self, edge: Edge) -> float:
         u, v = edge
         if isinstance(self.graph, CSRGraph):
             return self.graph.edge_weight(
@@ -172,19 +270,38 @@ class MinorAggregationEngine:
         the contracted minor (self-loops removed) and returns
         ``(z_toward_u_side, z_toward_v_side)`` where ``y_u``/``y_v`` are the
         consensus values of the supernodes containing ``u``/``v``.
+        ``edge_message`` may also be a declarative
+        :class:`~repro.ma.operators.ArrayMessage` (per-edge numeric payload
+        arrays in ``edge_list`` order), which compiled engines lower to
+        scatter-reduces and this closure engine evaluates row by row.
         """
+        with self._round_scope(charge_label):
+            return self._round_body(
+                contract, node_input, consensus_op, edge_message, aggregate_op
+            )
+
+    @contextmanager
+    def _round_scope(self, charge_label: str):
+        """Bookkeeping every executed round shares (closure or compiled):
+        one accountant charge, one ``ma.round`` span, the round counters."""
         self.rounds_executed += 1
         self.acct.charge(1, charge_label)
         with obs_trace.span("ma.round", acct=charge_label):
             obs_metrics.counter("ma.rounds").inc()
             obs_metrics.counter(f"ma.rounds.{charge_label}").inc()
-            return self._round_body(
-                contract, node_input, consensus_op, edge_message, aggregate_op
-            )
+            yield
 
     def _round_body(
         self, contract, node_input, consensus_op, edge_message, aggregate_op
     ) -> MARoundResult:
+        if edge_message is not None and consensus_op is None:
+            raise SolverError(
+                "edge_message requires consensus_op: aggregation edges read "
+                "the consensus values of both endpoints (use FIRST for a "
+                "round that publishes no node inputs)"
+            )
+        if isinstance(edge_message, ArrayMessage):
+            edge_message = self._closure_of_array_message(edge_message)
         contracted = self._normalize_contract(contract)
         supernode = self._supernodes(contracted)
 
@@ -255,8 +372,6 @@ class MinorAggregationEngine:
         label: str = "exchange",
     ) -> MARoundResult:
         """A contraction-free round: publish values, edges react, aggregate."""
-        from repro.ma.operators import FIRST
-
         return self.round(
             contract=None,
             node_input=values,

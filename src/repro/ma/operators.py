@@ -5,6 +5,14 @@ An aggregation operator folds a multiset of Õ(1)-bit messages into a single
 yield a unique aggregate; general *mergeable sketches* -- most importantly the
 deterministic Misra-Gries heavy-hitter summary -- are also valid operators
 because any merge order satisfies the sketch's guarantee.
+
+The numeric core operators additionally carry a declarative
+:class:`NumericForm` -- the ufunc, dtype discipline, and identity as array
+constants -- which is what lets
+:class:`~repro.ma.compiled.CompiledMinorAggregationEngine` lower whole
+rounds to ``reduceat``/scatter passes instead of one Python closure call
+per edge.  Operators without a numeric form always run on the closure
+reference engine.
 """
 
 from __future__ import annotations
@@ -12,24 +20,111 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable
 
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NumericForm:
+    """Array form of a commutative/associative numeric operator.
+
+    ``ufunc`` performs the fold (``reduceat`` over supernode-sorted
+    segments); ``fill`` is the identity as an array constant used to seed
+    absent inputs.  ``skip_missing`` marks operators whose closure identity
+    is ``None`` (min/max): missing inputs contribute *nothing* rather than
+    a neutral value, and an all-missing segment folds to ``None``.
+    ``dtype`` pins the accumulation dtype (``None`` infers from the inputs;
+    bool inputs are widened to int64 for ``sum`` so the fold counts).
+    """
+
+    ufunc: Any
+    fill: Any
+    skip_missing: bool = False
+    dtype: Any = None
+
+    def coerce(self, values: np.ndarray) -> "np.ndarray | None":
+        """Cast ``values`` to the fold dtype; ``None`` = not lowerable."""
+        if values.dtype == object or values.dtype.kind not in "biuf":
+            return None
+        if self.dtype is not None:
+            return values.astype(self.dtype, copy=False)
+        if values.dtype.kind == "b" and self.ufunc is np.add:
+            return values.astype(np.int64)
+        return values
+
 
 @dataclass(frozen=True)
 class Operator:
     """A fold: ``identity()`` produces the neutral element, ``combine`` folds.
 
     ``combine`` must never mutate its arguments (values are shared between
-    logical computational units of the simulator).
+    logical computational units of the simulator).  ``numeric``, when
+    present, is the array form compiled engines lower to.
     """
 
     name: str
     identity: Callable[[], Any]
     combine: Callable[[Any, Any], Any]
+    numeric: NumericForm | None = None
 
     def fold(self, values) -> Any:
         acc = self.identity()
         for value in values:
             acc = self.combine(acc, value)
         return acc
+
+
+class ArrayMessage:
+    """Declarative edge message: per-edge numeric payloads as arrays.
+
+    The closure form of an edge message is a Python callable invoked once
+    per minor edge; this is its array twin, aligned with the engine's
+    frozen ``edge_list`` order.  Two shapes:
+
+    * :meth:`constant` -- precomputed ``toward_u``/``toward_v`` payload
+      arrays (consensus-independent messages, e.g. "every edge offers its
+      weight to both sides");
+    * :meth:`vectorized` -- ``build(y_u, y_v) -> (z_u, z_v)`` evaluated on
+      the *consensus arrays* of the edge endpoints in one shot.  The
+      builder must be elementwise (ufunc-composed): the closure engine
+      applies it per edge, the compiled engine per array, and parity is
+      asserted across both.
+    """
+
+    __slots__ = ("toward_u", "toward_v", "build")
+
+    def __init__(self, toward_u=None, toward_v=None, build=None):
+        if build is not None:
+            if toward_u is not None or toward_v is not None:
+                raise ValueError(
+                    "ArrayMessage takes either payload arrays or a builder"
+                )
+        else:
+            if toward_u is None:
+                raise ValueError("ArrayMessage needs payload arrays or build=")
+            toward_u = np.asarray(toward_u)
+            toward_v = (
+                toward_u if toward_v is None else np.asarray(toward_v)
+            )
+            if toward_u.shape != toward_v.shape or toward_u.ndim != 1:
+                raise ValueError("payload arrays must be equal-length 1-D")
+        self.toward_u = toward_u
+        self.toward_v = toward_v
+        self.build = build
+
+    @classmethod
+    def constant(cls, toward_u, toward_v=None) -> "ArrayMessage":
+        return cls(toward_u, toward_v)
+
+    @classmethod
+    def vectorized(cls, build: Callable) -> "ArrayMessage":
+        return cls(build=build)
+
+    def check_length(self, m: int) -> None:
+        if self.build is None and len(self.toward_u) != m:
+            raise ValueError(
+                f"ArrayMessage payload has {len(self.toward_u)} entries for "
+                f"{m} engine edges"
+            )
 
 
 def _min_combine(a, b):
@@ -67,11 +162,33 @@ def _set_union_combine(a: frozenset, b: frozenset) -> frozenset:
     return a | b
 
 
-SUM = Operator("sum", lambda: 0, lambda a, b: a + b)
-MIN = Operator("min", lambda: None, _min_combine)
-MAX = Operator("max", lambda: None, _max_combine)
-OR = Operator("or", lambda: False, lambda a, b: bool(a) or bool(b))
-AND = Operator("and", lambda: True, lambda a, b: bool(a) and bool(b))
+SUM = Operator(
+    "sum", lambda: 0, lambda a, b: a + b, numeric=NumericForm(np.add, 0)
+)
+MIN = Operator(
+    "min",
+    lambda: None,
+    _min_combine,
+    numeric=NumericForm(np.minimum, np.inf, skip_missing=True),
+)
+MAX = Operator(
+    "max",
+    lambda: None,
+    _max_combine,
+    numeric=NumericForm(np.maximum, -np.inf, skip_missing=True),
+)
+OR = Operator(
+    "or",
+    lambda: False,
+    lambda a, b: bool(a) or bool(b),
+    numeric=NumericForm(np.logical_or, False, dtype=np.bool_),
+)
+AND = Operator(
+    "and",
+    lambda: True,
+    lambda a, b: bool(a) and bool(b),
+    numeric=NumericForm(np.logical_and, True, dtype=np.bool_),
+)
 FIRST = Operator("first", lambda: None, _first_combine)
 DICT_SUM = Operator("dict-sum", dict, _dict_sum_combine)
 SET_UNION = Operator("set-union", frozenset, _set_union_combine)

@@ -107,6 +107,7 @@ class TestAggregation:
 
         engine.round(
             contract={(0, 1)},
+            consensus_op=FIRST,
             edge_message=edge_message,
             aggregate_op=SUM,
         )
@@ -117,6 +118,7 @@ class TestAggregation:
         engine = MinorAggregationEngine(line(4))
         result = engine.round(
             contract={(1, 2)},
+            consensus_op=FIRST,
             edge_message=lambda e, u, v, yu, yv: (1, 1),
             aggregate_op=SUM,
         )
@@ -128,6 +130,7 @@ class TestAggregation:
     def test_directional_edge_values(self):
         engine = MinorAggregationEngine(line(3))
         result = engine.round(
+            consensus_op=FIRST,
             edge_message=lambda e, u, v, yu, yv: (min(u, v), max(u, v)),
             aggregate_op=SUM,
         )
@@ -157,6 +160,7 @@ class TestAggregation:
         engine = MinorAggregationEngine(graph)
         result = engine.round(
             contract={(0, 1), (1, 2)},
+            consensus_op=FIRST,
             edge_message=lambda e, u, v, yu, yv: (0, 0),
             aggregate_op=MIN,
         )
@@ -197,6 +201,7 @@ class TestMinorOperation:
         engine = MinorAggregationEngine(graph)
         result = engine.round(
             contract={(0, 1), (1, 2)},  # component {0,1,2}
+            consensus_op=FIRST,
             edge_message=lambda e, u, v, yu, yv: (
                 (graph[e[0]][e[1]]["weight"], e),
                 (graph[e[0]][e[1]]["weight"], e),
@@ -219,3 +224,52 @@ class TestMinorOperation:
             aggregate_op=FIRST,
         )
         assert acct.max_message_bits >= 16
+
+
+class TestRegressions:
+    """PR 9 correctness fixes, pinned."""
+
+    def test_integer_supernode_ids_use_natural_order(self):
+        """Labels {2, 9, 10}: the supernode id is 2, not '10' < '2' < '9'."""
+        graph = nx.Graph()
+        graph.add_edge(9, 10, weight=1)
+        graph.add_edge(10, 2, weight=1)
+        engine = MinorAggregationEngine(graph)
+        result = engine.round(contract={(9, 10), (10, 2)})
+        assert result.supernode == {2: 2, 9: 2, 10: 2}
+
+    def test_stable_min_mixed_label_types_deterministic(self):
+        """Mixed int/str labels stay ordered by (type name, natural order)."""
+        from repro.ma.engine import _stable_min
+
+        assert _stable_min([10, 9, 2]) == 2
+        assert _stable_min(["b", "a"]) == "a"
+        # int < str by type name, regardless of values.
+        assert _stable_min(["a", 3]) == 3
+        # Same type, non-comparable values: falls back to str order
+        # ("(2, 'x')" < "(2, None)" since "'" sorts before "N").
+        assert _stable_min([(2, "x"), (2, None)]) == (2, "x")
+
+    def test_edge_weight_cache_matches_uncached_path(self):
+        from repro.graphs import csr_random_connected_gnm
+
+        graph = csr_random_connected_gnm(30, 70, seed=11)
+        engine = MinorAggregationEngine(graph)
+        for edge, _u, _v in engine.edge_list:
+            assert engine.edge_weight(edge) == engine._edge_weight_uncached(edge)
+
+    def test_edge_weight_cache_matches_uncached_path_nx(self):
+        graph = random_connected_gnm(20, 45, seed=5)
+        engine = MinorAggregationEngine(graph)
+        for edge, _u, _v in engine.edge_list:
+            assert engine.edge_weight(edge) == engine._edge_weight_uncached(edge)
+
+    def test_edge_message_without_consensus_op_raises(self):
+        from repro.errors import SolverError
+
+        engine = MinorAggregationEngine(line(3))
+        with pytest.raises(SolverError, match="consensus_op"):
+            engine.round(
+                edge_message=lambda e, u, v, yu, yv: (1, 1),
+                aggregate_op=SUM,
+            )
