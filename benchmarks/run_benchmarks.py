@@ -10,7 +10,7 @@ perf PRs have a committed baseline to diff against.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_benchmarks.py              # BENCH_PR9.json
+    PYTHONPATH=src python benchmarks/run_benchmarks.py              # BENCH_PR10.json
     PYTHONPATH=src python benchmarks/run_benchmarks.py --out X.json --repeats 5
     PYTHONPATH=src python benchmarks/run_benchmarks.py --compare BENCH_PR2.json
 
@@ -110,8 +110,32 @@ MA_SCALE_N = 100_000
 MA_SCALE_M = 300_000
 #: the PR 8 acceptance bar: warm-cache served qps vs unbatched solves.
 SERVE_WARM_FLOOR = 3.0
+#: the PR 10 overload row: distinct cold requests fired at ~3x capacity
+#: (the calibration underestimates sustained batched throughput by
+#: ~25%, so a 2x nominal factor would barely overload; 3x nominal is a
+#: comfortable >=2x of true capacity, and the longer train lets the
+#: unshedded backlog -- and hence its p99 -- actually build).
+OVERLOAD_COUNT = 160
+OVERLOAD_OFFERED_FACTOR = 3.0
+#: best-of trials per overload mode (same noise discipline as _timed:
+#: an open-loop arrival train is sensitive to scheduler hiccups, so
+#: each mode gets its friendliest trial before the gates compare them).
+OVERLOAD_REPEATS = 3
+#: queue bound for the shedding run (requests beyond it get typed
+#: ``OverloadedError`` decisions instead of unbounded queueing).
+OVERLOAD_MAX_QUEUE = 8
+#: the PR 10 acceptance bar: at 2x capacity, shedding must keep p99
+#: time-to-decision no worse than unshedded queueing while giving up at
+#: most this fraction of goodput (both runs are solver-bound, so the
+#: solved-per-second rates should be close; the slack absorbs timing
+#: noise from the open-loop arrival process).
+OVERLOAD_GOODPUT_SLACK = 0.80
 #: --compare fails when a tracked metric is more than this much slower.
 REGRESSION_SLACK = 1.10
+#: ... and slower by at least this many seconds: sub-millisecond rows
+#: (the warm result-cache sweep is ~0.4 ms) jitter past 10% run to
+#: run, so a regression must clear the relative *and* absolute bar.
+REGRESSION_ABS_SLACK_S = 0.0005
 
 
 def _timed(fn, repeats: int) -> tuple[list[float], object]:
@@ -594,14 +618,152 @@ def run_serve_bench(repeats: int) -> dict:
     }
 
 
-def run_serve_tests() -> dict:
-    """Run the `-m serve` pytest suite in a subprocess (the --check gate)."""
+def run_serve_overload_bench() -> dict:
+    """Overload economics: the serving tier past capacity (PR 10 row).
+
+    Open-loop arrivals -- ``OVERLOAD_COUNT`` distinct cold graphs fired
+    at ``OVERLOAD_OFFERED_FACTOR`` times the service's measured solve
+    rate -- against the same service twice:
+
+    * **unshedded** -- no admission control: every request queues, so
+      the tail of the arrival train waits behind the whole backlog and
+      p99 *time-to-decision* grows with the run length;
+    * **shedding** -- ``max_queue=OVERLOAD_MAX_QUEUE``: requests beyond
+      the bound get an instant typed ``OverloadedError`` decision, so
+      p99 stays bounded by the queue depth while the solver stays just
+      as busy.
+
+    Both runs are solver-throughput-bound, which is the acceptance
+    argument (enforced with ``--check``): shedding must keep p99
+    time-to-decision no worse than unshedded queueing *and* retain at
+    least ``OVERLOAD_GOODPUT_SLACK`` of its goodput (solved requests
+    per second).  A small ``max_batch`` keeps capacity modest so the
+    arrival train genuinely overloads it.
+    """
+    import asyncio
+
+    from repro.errors import ServeError
+    from repro.graphs import CSR_FAMILY_BUILDERS
+    from repro.serve import MinCutService, ResilienceConfig, ServeConfig
+
+    serve_config = ServeConfig(batch_ms=1.0, max_batch=4)
+    build = CSR_FAMILY_BUILDERS["gnm"]
+    graphs = [build(MANY_N, 1000 + i) for i in range(OVERLOAD_COUNT)]
+
+    async def calibrate() -> float:
+        async with MinCutService(serve=serve_config) as service:
+            start = time.perf_counter()
+            await asyncio.gather(
+                *(
+                    service.submit(graph, seed=i)
+                    for i, graph in enumerate(graphs[:32])
+                )
+            )
+            return 32 / (time.perf_counter() - start)
+
+    capacity_qps = asyncio.run(calibrate())
+    # Arrivals come in bursts so the average rate hits the offered load
+    # even though asyncio.sleep() can't resolve sub-millisecond gaps.
+    burst_gap_s = 0.004
+    burst = max(
+        1, round(OVERLOAD_OFFERED_FACTOR * capacity_qps * burst_gap_s)
+    )
+
+    async def overload_run(resilience: "ResilienceConfig | None") -> dict:
+        async with MinCutService(
+            serve=serve_config, resilience=resilience
+        ) as service:
+            decisions: list[float] = []
+            ok = shed = 0
+
+            async def one(index: int, graph) -> None:
+                nonlocal ok, shed
+                started = time.perf_counter()
+                try:
+                    await service.submit(graph, seed=1000 + index)
+                    ok += 1
+                except ServeError:
+                    shed += 1
+                decisions.append(time.perf_counter() - started)
+
+            started = time.perf_counter()
+            tasks = []
+            for index, graph in enumerate(graphs):
+                tasks.append(asyncio.ensure_future(one(index, graph)))
+                if (index + 1) % burst == 0:
+                    await asyncio.sleep(burst_gap_s)
+            await asyncio.gather(*tasks)
+            elapsed = time.perf_counter() - started
+        decisions.sort()
+        p99 = decisions[min(len(decisions) - 1, int(0.99 * len(decisions)))]
+        p50 = decisions[len(decisions) // 2]
+        return {
+            "ok": ok,
+            "shed": shed,
+            "seconds": round(elapsed, 6),
+            "goodput_qps": round(ok / elapsed, 1) if elapsed > 0 else None,
+            "p50_decision_ms": round(p50 * 1e3, 2),
+            "p99_decision_ms": round(p99 * 1e3, 2),
+        }
+
+    def best_of(resilience: "ResilienceConfig | None") -> dict:
+        trials = [
+            asyncio.run(overload_run(resilience))
+            for _ in range(OVERLOAD_REPEATS)
+        ]
+        best = dict(max(trials, key=lambda r: r["goodput_qps"]))
+        best["goodput_qps"] = max(r["goodput_qps"] for r in trials)
+        best["p99_decision_ms"] = min(r["p99_decision_ms"] for r in trials)
+        best["trials"] = trials
+        return best
+
+    unshedded = best_of(None)
+    shedding = best_of(
+        ResilienceConfig(max_queue=OVERLOAD_MAX_QUEUE, retry_after_ms=5.0)
+    )
+    p99_bounded = (
+        shedding["p99_decision_ms"] <= unshedded["p99_decision_ms"]
+    )
+    goodput_ok = (
+        shedding["goodput_qps"]
+        >= unshedded["goodput_qps"] * OVERLOAD_GOODPUT_SLACK
+    )
+    row = {
+        "count": OVERLOAD_COUNT,
+        "n": MANY_N,
+        "family": "gnm",
+        "solver": "oracle",
+        "batch_ms": serve_config.batch_ms,
+        "max_batch": serve_config.max_batch,
+        "max_queue": OVERLOAD_MAX_QUEUE,
+        "capacity_qps": round(capacity_qps, 1),
+        "offered_qps": round(OVERLOAD_OFFERED_FACTOR * capacity_qps, 1),
+        "unshedded": unshedded,
+        "shedding": shedding,
+        "p99_bounded": bool(p99_bounded),
+        "goodput_ok": bool(goodput_ok),
+    }
+    for label, run in (("unshedded", unshedded), ("shedding", shedding)):
+        print(
+            f"  overload {label:<14} ok {run['ok']:3d}  shed {run['shed']:3d}"
+            f"  goodput {run['goodput_qps']:8.1f}/s"
+            f"  p99 {run['p99_decision_ms']:8.2f} ms"
+        )
+    print(
+        f"  overload gates               p99_bounded={p99_bounded}"
+        f"  goodput_ok={goodput_ok}"
+    )
+    return row
+
+
+def run_serve_tests(marker: str = "serve", path: str = "tests/test_serve.py") -> dict:
+    """Run one marked pytest suite in a subprocess (the --check gates)."""
     import subprocess
 
     root = Path(__file__).resolve().parent.parent
     start = time.perf_counter()
     proc = subprocess.run(
-        [sys.executable, "-m", "pytest", "-q", "-m", "serve", "tests/test_serve.py"],
+        [sys.executable, "-m", "pytest", "-q", "-m", marker, path],
         cwd=root,
         env={**__import__("os").environ, "PYTHONPATH": str(root / "src")},
         capture_output=True,
@@ -610,7 +772,7 @@ def run_serve_tests() -> dict:
     seconds = time.perf_counter() - start
     passed = proc.returncode == 0
     tail = (proc.stdout.strip().splitlines() or ["<no output>"])[-1]
-    print(f"  pytest -m serve              {seconds * 1e3:8.0f} ms  {tail}")
+    print(f"  pytest -m {marker:<18} {seconds * 1e3:8.0f} ms  {tail}")
     if not passed:
         print(proc.stdout, file=sys.stderr)
         print(proc.stderr, file=sys.stderr)
@@ -743,7 +905,10 @@ def compare_against(baseline_path: str, payload: dict) -> int:
     base_metrics = _tracked_metrics(baseline)
     new_metrics = _tracked_metrics(payload)
     failures = []
-    print(f"regression gate vs {baseline_path} (>{REGRESSION_SLACK:.0%} fails):")
+    print(
+        f"regression gate vs {baseline_path} (>{REGRESSION_SLACK:.0%} "
+        f"and >{REGRESSION_ABS_SLACK_S * 1e3:g} ms slower fails):"
+    )
     for name in sorted(set(new_metrics) - set(base_metrics)):
         print(f"  {name:<42} new metric (no baseline row) -- skipped")
     for name, base_seconds in sorted(base_metrics.items()):
@@ -752,12 +917,16 @@ def compare_against(baseline_path: str, payload: dict) -> int:
             continue
         now = new_metrics[name]
         ratio = now / base_seconds if base_seconds else 1.0
-        flag = "FAIL" if ratio > REGRESSION_SLACK else "ok"
+        regressed = (
+            ratio > REGRESSION_SLACK
+            and (now - base_seconds) > REGRESSION_ABS_SLACK_S
+        )
+        flag = "FAIL" if regressed else "ok"
         print(
             f"  {name:<42} {base_seconds * 1e3:9.2f} ms -> {now * 1e3:9.2f} ms"
             f"  ({ratio:5.2f}x) {flag}"
         )
-        if ratio > REGRESSION_SLACK:
+        if regressed:
             failures.append(name)
     if failures:
         print(
@@ -771,7 +940,7 @@ def compare_against(baseline_path: str, payload: dict) -> int:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR9.json")
+    parser.add_argument("--out", default="BENCH_PR10.json")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
         "--check",
@@ -803,15 +972,20 @@ def main() -> int:
     ma_scale = run_ma_scale_bench()
     print("serve tier (cold/warm/unbatched):")
     serve = run_serve_bench(args.repeats)
+    print("serve overload (shedding on vs off past capacity):")
+    serve_overload = run_serve_overload_bench()
     if args.check:
-        serve["tests"] = run_serve_tests()
+        serve["tests"] = run_serve_tests("serve", "tests/test_serve.py")
+        serve["chaos_tests"] = run_serve_tests(
+            "servechaos", "tests/test_serve_chaos.py"
+        )
     print("traced-solve profile:")
     profile = run_profile_bench()
     print("trace overhead:")
     trace_overhead = run_trace_overhead_bench(args.repeats)
 
     payload = {
-        "schema": "repro-bench/9",
+        "schema": "repro-bench/10",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "repeats": args.repeats,
@@ -822,6 +996,7 @@ def main() -> int:
         "ma": ma,
         "ma_scale": ma_scale,
         "serve": serve,
+        "serve_overload": serve_overload,
         "profile": profile,
         "trace_overhead": trace_overhead,
     }
@@ -874,6 +1049,19 @@ def main() -> int:
         return 1
     if args.check and not serve.get("tests", {}).get("passed", True):
         print("FAIL: serve test suite failed", file=sys.stderr)
+        return 1
+    if args.check and not serve.get("chaos_tests", {}).get("passed", True):
+        print("FAIL: servechaos test suite failed", file=sys.stderr)
+        return 1
+    if args.check and not (
+        serve_overload["p99_bounded"] and serve_overload["goodput_ok"]
+    ):
+        print(
+            "FAIL: overload shedding row missed its gate "
+            f"(p99_bounded={serve_overload['p99_bounded']}, "
+            f"goodput_ok={serve_overload['goodput_ok']})",
+            file=sys.stderr,
+        )
         return 1
     if args.check and not trace_overhead["within_budget"]:
         print(

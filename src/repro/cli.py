@@ -297,7 +297,7 @@ def cmd_serve(args) -> int:
     """Run the line-delimited-JSON TCP min-cut service."""
     import asyncio
 
-    from repro.serve import MinCutServer, ServeConfig
+    from repro.serve import MinCutServer, ResilienceConfig, ServeConfig
 
     config = repro.SolverConfig.from_args(args)
     serve = ServeConfig.from_env(
@@ -312,10 +312,22 @@ def cmd_serve(args) -> int:
             if value is not None
         }
     )
+    resilience = ResilienceConfig.from_env(
+        **{
+            key: value
+            for key, value in (
+                ("deadline_ms", args.deadline_ms),
+                ("max_queue", args.max_queue),
+                ("watchdog_ms", args.watchdog_ms),
+            )
+            if value is not None
+        }
+    )
 
     async def run() -> int:
         async with MinCutServer(
-            host=args.host, port=args.port, config=config, serve=serve
+            host=args.host, port=args.port, config=config, serve=serve,
+            resilience=resilience,
         ) as server:
             print(
                 f"repro serve: listening on {server.host}:{server.port} "
@@ -342,21 +354,58 @@ def cmd_loadgen(args) -> int:
     """Drive a running ``repro serve`` instance and report qps/latency."""
     import asyncio
 
-    from repro.serve import run_loadgen
+    from repro.serve import ChaosPlan, RetryPolicy, run_loadgen
 
-    summary = asyncio.run(
-        run_loadgen(
-            host=args.host,
-            port=args.port,
-            count=args.count,
-            n=args.n,
-            family=args.family,
-            distinct=args.distinct,
-            concurrency=args.concurrency,
-            solver=args.solver,
-            repeat=args.repeat,
-        )
+    retry = (
+        RetryPolicy(attempts=args.retries + 1, seed=args.retry_seed)
+        if args.retries > 0
+        else None
     )
+
+    async def run() -> dict:
+        if args.chaos is None:
+            return await run_loadgen(
+                host=args.host,
+                port=args.port,
+                count=args.count,
+                n=args.n,
+                family=args.family,
+                distinct=args.distinct,
+                concurrency=args.concurrency,
+                solver=args.solver,
+                repeat=args.repeat,
+                deadline_ms=args.deadline_ms,
+                retry=retry,
+            )
+        # --chaos: a self-contained drill -- spin up an in-process
+        # server under the seeded plan, drive it with retrying clients,
+        # and report the fault ledger next to the client summary.
+        from repro.serve import MinCutServer
+
+        plan = ChaosPlan.parse(args.chaos)
+        async with MinCutServer(port=0, chaos=plan) as server:
+            summary = await run_loadgen(
+                host=server.host,
+                port=server.port,
+                count=args.count,
+                n=args.n,
+                family=args.family,
+                distinct=args.distinct,
+                concurrency=args.concurrency,
+                solver=args.solver,
+                repeat=args.repeat,
+                deadline_ms=args.deadline_ms,
+                retry=retry or RetryPolicy(seed=plan.seed),
+            )
+            summary["chaos"] = {
+                "plan": plan.describe(),
+                "injected": server.chaos.stats(),
+                "resets": server.resets,
+                "resilience": server.service.stats()["resilience"],
+            }
+        return summary
+
+    summary = asyncio.run(run())
     text = json.dumps(summary, indent=2)
     if args.json:
         with open(args.json, "w") as handle:
@@ -493,6 +542,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--result-cache", type=int, default=None,
         help="result-dedup LRU entries (0 disables; default 4096)",
     )
+    p_serve.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="default per-request budget in ms "
+             "(default REPRO_SERVE_DEADLINE_MS or unbounded)",
+    )
+    p_serve.add_argument(
+        "--max-queue", type=int, default=None,
+        help="admission depth budget; over it requests are shed with "
+             "OverloadedError (default REPRO_SERVE_MAX_QUEUE or unbounded)",
+    )
+    p_serve.add_argument(
+        "--watchdog-ms", type=float, default=None,
+        help="hard wall-clock budget per fused batch solve "
+             "(default: armed only by request deadlines)",
+    )
     p_serve.set_defaults(func=cmd_serve, backend="csr", certify=False)
 
     p_loadgen = sub.add_parser(
@@ -519,6 +583,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--solver", default=None, choices=list(registered_solvers()),
         help="per-request solver override (default: server's default)",
     )
+    p_loadgen.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="stamp every request with this budget in ms",
+    )
+    p_loadgen.add_argument(
+        "--retries", type=int, default=0,
+        help="arm each connection with up to this many seeded-backoff "
+             "retries (0 = no retry)",
+    )
+    p_loadgen.add_argument(
+        "--retry-seed", type=int, default=0,
+        help="base seed of the retry jitter streams",
+    )
+    p_loadgen.add_argument(
+        "--chaos", nargs="?", const="", default=None, metavar="SPEC",
+        help="self-contained chaos drill: start an in-process server "
+             "under a seeded ChaosPlan (SPEC like "
+             "'seed=7,drop_before=0.05,worker=0.2', a bare seed, or "
+             "empty for the default mixed plan) and drive it with "
+             "retrying clients; --host/--port are ignored",
+    )
     p_loadgen.add_argument("--json", help="write the JSON summary here")
     p_loadgen.set_defaults(func=cmd_loadgen)
 
@@ -530,3 +615,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry point
+    sys.exit(main())

@@ -17,8 +17,18 @@ Hierarchy::
     ├── PackingError         (RuntimeError) tree-packing stage failure
     ├── BudgetExceeded       (RuntimeError) scratch budget cannot fit a solve
     ├── CertificationError   (RuntimeError) a returned cut failed its audit
-    └── TransportTimeout     (RuntimeError) reliable transport ran out of
-                                            physical rounds under faults
+    ├── TransportTimeout     (RuntimeError) reliable transport ran out of
+    │                                       physical rounds under faults
+    └── ServeError           (RuntimeError) serving-tier rejections
+        ├── DeadlineExceededError           request budget expired
+        ├── OverloadedError                 admission control shed the request
+        │   └── CircuitOpenError            solver circuit breaker is open
+        └── ServiceClosedError              service is draining / stopped
+
+The serving errors are *rejections*, not crashes: each one is a complete,
+retryable answer (``OverloadedError`` even says when to come back via
+``retry_after_ms``).  Clients match on the subclass -- or on the wire,
+the ``error`` field carrying the class name.
 """
 
 from __future__ import annotations
@@ -32,6 +42,11 @@ __all__ = [
     "BudgetExceeded",
     "CertificationError",
     "TransportTimeout",
+    "ServeError",
+    "DeadlineExceededError",
+    "OverloadedError",
+    "CircuitOpenError",
+    "ServiceClosedError",
 ]
 
 
@@ -76,3 +91,40 @@ class TransportTimeout(ReproError, RuntimeError):
     """The retry transport exhausted its physical-round budget without
     completing the inner (logical) execution -- the injected fault rate
     (or a crashed node) was beyond what retransmission can absorb."""
+
+
+class ServeError(ReproError, RuntimeError):
+    """Base class of the serving tier's typed rejections."""
+
+
+class DeadlineExceededError(ServeError):
+    """The request's deadline budget ran out -- before batching (stale on
+    arrival or while queued) or mid-solve (the batch watchdog tripped and
+    this request had no budget left to degrade into)."""
+
+    def __init__(self, message: str, deadline_ms: "float | None" = None,
+                 elapsed_ms: "float | None" = None):
+        super().__init__(message)
+        self.deadline_ms = deadline_ms
+        self.elapsed_ms = elapsed_ms
+
+
+class OverloadedError(ServeError):
+    """Admission control shed the request (queue depth or byte budget
+    exhausted).  ``retry_after_ms`` is the server's backoff hint; the
+    resilient client honors it before retrying."""
+
+    def __init__(self, message: str, retry_after_ms: float = 0.0):
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+class CircuitOpenError(OverloadedError):
+    """The per-``SolverConfig`` circuit breaker is open: recent solves of
+    this solver family failed consecutively, so requests are rejected
+    outright until the reset cooldown admits a half-open probe."""
+
+
+class ServiceClosedError(ServeError):
+    """The service is draining or already stopped; the request was not
+    (and will not be) solved."""

@@ -195,21 +195,34 @@ class MetricsRegistry:
         with self._lock:
             return self._ops
 
-    def snapshot(self) -> dict:
-        """JSON-friendly view of every instrument, names sorted."""
+    def snapshot(self, prefix: "str | None" = None) -> dict:
+        """JSON-friendly view of every instrument, names sorted.
+
+        ``prefix`` narrows the view to one namespace (e.g.
+        ``snapshot(prefix="serve.resilience.")`` -- the chaos-harness
+        ledger) without paying for the rest of the pipeline's
+        instruments.
+        """
+
+        def keep(name: str) -> bool:
+            return prefix is None or name.startswith(prefix)
+
         with self._lock:
             return {
                 "counters": {
                     name: c.as_dict()
                     for name, c in sorted(self._counters.items())
+                    if keep(name)
                 },
                 "gauges": {
                     name: g.as_dict()
                     for name, g in sorted(self._gauges.items())
+                    if keep(name)
                 },
                 "histograms": {
                     name: h.as_dict()
                     for name, h in sorted(self._histograms.items())
+                    if keep(name)
                 },
             }
 

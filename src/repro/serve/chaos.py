@@ -1,0 +1,264 @@
+"""Seeded, declarative chaos injection for the serving tier.
+
+The PR 6 :class:`~repro.faults.FaultPlan` proved the discipline for the
+CONGEST layer: describe *what goes wrong* as a frozen value object,
+drive every decision from one seeded RNG, and assert that the system
+either absorbs the fault or fails with a typed error -- never a hang,
+never a garbage answer.  :class:`ChaosPlan` extends the same discipline
+to the service boundary, where real production failures actually live:
+
+* **connection drops** -- the server kills a client's connection around
+  a request: *before* dispatch (the request is never solved) or *after*
+  (it was solved and cached, but the response is lost -- the case that
+  proves retries are idempotent: the client's retry is a result-cache
+  hit, not a second solve);
+* **slow reads** -- a request's bytes dribble in, holding the
+  connection open (deadline pressure on the queue);
+* **worker exceptions** -- a fused batch solve dies inside the worker
+  thread (the service must degrade batch-mates to individual solves,
+  bit-identically, per the PR 6 degradation idiom);
+* **clock skew** -- the server's deadline clock runs ahead of the
+  client's, so budgets expire "early" (requests must come back as typed
+  :class:`~repro.errors.DeadlineExceededError`, not hangs).
+
+A plan is consumed by :meth:`ChaosPlan.injector`; the injector's
+counters are the ledger the ``pytest -m servechaos`` suite reconciles
+against ``service.stats()`` -- every injected fault must show up as a
+shed/expired/degraded/reset count somewhere, and every request must
+still terminate with a bit-identical certified result or a typed error.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from threading import Lock
+
+from repro.errors import FaultPlanError
+
+__all__ = ["ChaosPlan", "ChaosInjector", "ChaosWorkerError"]
+
+_RATE_FIELDS = (
+    "drop_before_rate",
+    "drop_after_rate",
+    "slow_read_rate",
+    "worker_exception_rate",
+)
+
+
+class ChaosWorkerError(RuntimeError):
+    """The injected worker-thread failure (infrastructure, not input).
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: chaos
+    simulates the unplanned kind of crash, and the service must convert
+    it into typed, structured outcomes on its own.
+    """
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Frozen description of everything that goes wrong at the boundary.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the single RNG behind every fate draw.
+    drop_before_rate:
+        Probability the server drops a connection after reading a
+        request but *before* dispatching it (the request is lost).
+    drop_after_rate:
+        Probability the server drops the connection after the solve but
+        before the response is written (the result is cached; a retry
+        hits the cache).
+    slow_read_rate / slow_read_ms:
+        Probability and duration of an injected stall between reading a
+        request and dispatching it (a slow or partial read).
+    worker_exception_rate:
+        Probability one fused batch solve raises
+        :class:`ChaosWorkerError` inside the worker thread.
+    clock_skew_ms:
+        Constant added to the *service's* deadline clock (the server
+        believes it is this far into the future), shrinking every
+        request's effective budget.
+    """
+
+    seed: int = 0
+    drop_before_rate: float = 0.0
+    drop_after_rate: float = 0.0
+    slow_read_rate: float = 0.0
+    slow_read_ms: float = 5.0
+    worker_exception_rate: float = 0.0
+    clock_skew_ms: float = 0.0
+
+    def __post_init__(self):
+        for name in _RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise FaultPlanError(
+                    f"{name} must be in [0, 1], got {rate!r}"
+                )
+        if self.slow_read_ms < 0:
+            raise FaultPlanError(
+                f"slow_read_ms must be >= 0, got {self.slow_read_ms}"
+            )
+        if self.clock_skew_ms < 0:
+            raise FaultPlanError(
+                f"clock_skew_ms must be >= 0, got {self.clock_skew_ms}"
+            )
+
+    def is_calm(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return all(
+            getattr(self, name) == 0.0 for name in _RATE_FIELDS
+        ) and self.clock_skew_ms == 0.0
+
+    def injector(self) -> "ChaosInjector":
+        """A fresh stateful injector for one server lifetime."""
+        return ChaosInjector(self)
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosPlan":
+        """Build a plan from a CLI spec like
+        ``"seed=7,drop_before=0.05,worker=0.2"``.
+
+        Keys are the dataclass fields plus short aliases
+        (``drop_before``/``drop_after``/``slow_read``/``worker``/
+        ``skew_ms``); an empty spec or bare seed (``--chaos 7``) yields
+        a default mixed plan.  Unknown keys raise
+        :class:`~repro.errors.FaultPlanError`.
+        """
+        aliases = {
+            "drop_before": "drop_before_rate",
+            "drop_after": "drop_after_rate",
+            "slow_read": "slow_read_rate",
+            "worker": "worker_exception_rate",
+            "skew_ms": "clock_skew_ms",
+        }
+        mixed_defaults = {
+            "drop_before_rate": 0.02,
+            "drop_after_rate": 0.05,
+            "slow_read_rate": 0.1,
+            "worker_exception_rate": 0.1,
+        }
+        fields: dict = {}
+        spec = (spec or "").strip()
+        if spec and "=" not in spec and "," not in spec:
+            # bare seed shorthand: --chaos 7 -> seeded default mixed plan
+            try:
+                fields["seed"] = int(spec)
+            except ValueError:
+                raise FaultPlanError(f"bad chaos spec {spec!r}") from None
+            return cls(**mixed_defaults, **fields)
+        if not spec:
+            return cls(**mixed_defaults)
+        for part in filter(None, (p.strip() for p in spec.split(","))):
+            if "=" not in part:
+                raise FaultPlanError(
+                    f"bad chaos spec item {part!r} (want key=value)"
+                )
+            key, _, raw = part.partition("=")
+            key = aliases.get(key.strip(), key.strip())
+            if key not in cls.__dataclass_fields__:
+                raise FaultPlanError(f"unknown chaos key {key!r}")
+            try:
+                fields[key] = int(raw) if key == "seed" else float(raw)
+            except ValueError:
+                raise FaultPlanError(
+                    f"bad chaos value {raw!r} for {key!r}"
+                ) from None
+        return cls(**fields)
+
+    def describe(self) -> dict:
+        """JSON-friendly summary (reports and test ledgers embed it)."""
+        return {
+            "seed": self.seed,
+            "drop_before_rate": self.drop_before_rate,
+            "drop_after_rate": self.drop_after_rate,
+            "slow_read_rate": self.slow_read_rate,
+            "slow_read_ms": self.slow_read_ms,
+            "worker_exception_rate": self.worker_exception_rate,
+            "clock_skew_ms": self.clock_skew_ms,
+        }
+
+
+class ChaosInjector:
+    """One server's worth of fate decisions, drawn from the plan's seed.
+
+    The server consults :meth:`connection_fate` / :meth:`slow_read_s`
+    once per request line (in arrival order) and the service consults
+    :meth:`worker_error` once per fused batch; each consults the RNG in
+    a fixed draw order, so a given plan over a given request sequence
+    makes the same decisions every run.  Counters are the reconciliation
+    ledger.  Thread-safe: the worker-error draw happens on the solve
+    thread while connection fates are drawn on the event loop.
+    """
+
+    def __init__(self, plan: ChaosPlan):
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self.dropped_before = 0
+        self.dropped_after = 0
+        self.slowed = 0
+        self.worker_errors = 0
+        self._lock = Lock()
+
+    # -- event-loop side -------------------------------------------------
+    def connection_fate(self) -> "str | None":
+        """Fate of one request's connection: ``None`` (survive),
+        ``"drop-before"``, or ``"drop-after"``.  Draw order is fixed
+        (before, then after) so the stream stays reproducible."""
+        plan = self.plan
+        with self._lock:
+            if (
+                plan.drop_before_rate > 0.0
+                and self.rng.random() < plan.drop_before_rate
+            ):
+                self.dropped_before += 1
+                return "drop-before"
+            if (
+                plan.drop_after_rate > 0.0
+                and self.rng.random() < plan.drop_after_rate
+            ):
+                self.dropped_after += 1
+                return "drop-after"
+            return None
+
+    def slow_read_s(self) -> float:
+        """Injected pre-dispatch stall for one request, in seconds."""
+        plan = self.plan
+        with self._lock:
+            if (
+                plan.slow_read_rate > 0.0
+                and self.rng.random() < plan.slow_read_rate
+            ):
+                self.slowed += 1
+                return plan.slow_read_ms / 1000.0
+            return 0.0
+
+    # -- worker-thread side ----------------------------------------------
+    def worker_error(self) -> bool:
+        """Should this fused batch solve die?  (Degradation recovers.)"""
+        plan = self.plan
+        with self._lock:
+            if (
+                plan.worker_exception_rate > 0.0
+                and self.rng.random() < plan.worker_exception_rate
+            ):
+                self.worker_errors += 1
+                return True
+            return False
+
+    # -- the skewed clock -------------------------------------------------
+    def clock(self) -> float:
+        """The service's deadline clock under this plan's skew."""
+        return time.monotonic() + self.plan.clock_skew_ms / 1000.0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "dropped_before": self.dropped_before,
+                "dropped_after": self.dropped_after,
+                "slowed": self.slowed,
+                "worker_errors": self.worker_errors,
+            }

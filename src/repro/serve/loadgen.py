@@ -15,6 +15,14 @@ Two layers, so both the CLI and the tests can drive a server:
 The workload builder is shared with the benchmark suite's serve section
 (same ``(family, n, seed)`` graphs as the ``minimum_cut_many`` rows, so
 the qps numbers are comparable).
+
+Resilience: give the client a :class:`~repro.serve.resilience.RetryPolicy`
+and :meth:`ServeClient.solve` retries transparently -- reconnecting when
+the connection drops mid-request, and backing off (honoring the server's
+``retry_after_ms`` hint) when the response is a typed retryable
+rejection.  Retries are idempotent by construction: the server keys
+results by canonical graph hash + seed, so a retry of a request whose
+response was lost lands as a result-cache hit, never a second solve.
 """
 
 from __future__ import annotations
@@ -22,8 +30,10 @@ from __future__ import annotations
 import asyncio
 import json
 import time
+from dataclasses import replace
 
 from repro.graphs import CSR_FAMILY_BUILDERS
+from repro.serve.resilience import RetryPolicy
 from repro.serve.server import graph_to_wire
 from repro.serve.service import LatencyHistogram
 
@@ -60,11 +70,26 @@ def make_workload(
 
 
 class ServeClient:
-    """One TCP connection speaking the line-delimited-JSON protocol."""
+    """One TCP connection speaking the line-delimited-JSON protocol.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 7465):
+    With a :class:`RetryPolicy`, :meth:`solve` survives dropped
+    connections and typed retryable rejections (``OverloadedError``,
+    ``CircuitOpenError``, ``ServiceClosedError``) by reconnecting /
+    backing off and resending -- up to ``policy.attempts`` tries total.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7465,
+        retry: RetryPolicy | None = None,
+    ):
         self.host = host
         self.port = port
+        self.retry = retry
+        self._rng = retry.rng() if retry is not None else None
+        self.retries = 0
+        self.reconnects = 0
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
 
@@ -102,12 +127,52 @@ class ServeClient:
         return json.loads(line)
 
     async def solve(
-        self, graph, seed: int = 0, solver: str | None = None
+        self,
+        graph,
+        seed: int = 0,
+        solver: str | None = None,
+        deadline_ms: float | None = None,
     ) -> dict:
         payload = {"op": "solve", "graph": graph_to_wire(graph), "seed": seed}
         if solver is not None:
             payload["solver"] = solver
-        return await self.request(payload)
+        if deadline_ms is not None:
+            payload["deadline_ms"] = float(deadline_ms)
+        if self.retry is None:
+            return await self.request(payload)
+        last_exc: Exception | None = None
+        for attempt in range(self.retry.attempts):
+            if attempt > 0:
+                self.retries += 1
+            try:
+                if self._writer is None:
+                    await self.connect()
+                    if attempt > 0:
+                        self.reconnects += 1
+                response = await self.request(payload)
+            except (ConnectionError, OSError) as exc:
+                # The connection died mid-request.  The request may or
+                # may not have been solved server-side; either way the
+                # resend is safe -- it dedupes on canonical hash + seed.
+                last_exc = exc
+                await self.close()
+                if attempt + 1 >= self.retry.attempts:
+                    raise
+                delay_ms = self.retry.delay_ms(attempt, self._rng)
+                await asyncio.sleep(delay_ms / 1000.0)
+                continue
+            if response.get("ok") or not response.get("retryable"):
+                return response
+            if attempt + 1 >= self.retry.attempts:
+                return response
+            delay_ms = self.retry.delay_ms(
+                attempt, self._rng,
+                retry_after_ms=response.get("retry_after_ms"),
+            )
+            await asyncio.sleep(delay_ms / 1000.0)
+        raise last_exc if last_exc is not None else ConnectionError(
+            "retry budget exhausted"
+        )
 
     async def stats(self) -> dict:
         return (await self.request({"op": "stats"}))["stats"]
@@ -126,6 +191,8 @@ async def run_loadgen(
     concurrency: int = 8,
     solver: str | None = None,
     repeat: int = 1,
+    deadline_ms: float | None = None,
+    retry: RetryPolicy | None = None,
 ) -> dict:
     """Fire the synthetic workload at a server; return a summary dict.
 
@@ -135,6 +202,12 @@ async def run_loadgen(
     ``concurrency`` connections, each connection strictly
     request/response, so server-side batches form from genuinely
     concurrent clients.
+
+    ``deadline_ms`` stamps every request with a budget; ``retry`` arms
+    each connection with its own backoff stream (seeded ``retry.seed +
+    worker index``, so jitter decorrelates across connections but the
+    whole run stays reproducible).  Typed rejections and dropped
+    connections are tallied per wire ``error`` name under ``errors``.
     """
     workload = make_workload(
         count=count, n=n, family=family, distinct=distinct
@@ -146,29 +219,59 @@ async def run_loadgen(
     latency = LatencyHistogram()
     outcomes: list = [None] * len(workload)
     failures = 0
+    retries = 0
+    reconnects = 0
     sources: dict = {}
+    errors: dict = {}
 
-    async def worker() -> None:
-        nonlocal failures
-        async with ServeClient(host, port) as client:
+    async def worker(worker_index: int) -> None:
+        nonlocal failures, retries, reconnects
+        policy = (
+            replace(retry, seed=retry.seed + worker_index)
+            if retry is not None
+            else None
+        )
+        client = ServeClient(host, port, retry=policy)
+        try:
             while True:
                 try:
                     index, graph, seed = queue.get_nowait()
                 except asyncio.QueueEmpty:
                     return
                 started = time.perf_counter()
-                response = await client.solve(graph, seed=seed, solver=solver)
+                try:
+                    if client._writer is None:
+                        await client.connect()
+                    response = await client.solve(
+                        graph, seed=seed, solver=solver,
+                        deadline_ms=deadline_ms,
+                    )
+                except (ConnectionError, OSError) as exc:
+                    # Retry-less client (or exhausted budget) losing its
+                    # connection: record the failure, reconnect lazily.
+                    response = {
+                        "ok": False,
+                        "error": type(exc).__name__,
+                        "message": str(exc),
+                    }
+                    await client.close()
                 latency.observe(time.perf_counter() - started)
                 outcomes[index] = response
                 if not response.get("ok"):
                     failures += 1
+                    name = response.get("error", "unknown")
+                    errors[name] = errors.get(name, 0) + 1
                 source = response.get("source")
                 if source is not None:
                     sources[source] = sources.get(source, 0) + 1
+        finally:
+            retries += client.retries
+            reconnects += client.reconnects
+            await client.close()
 
     concurrency = max(1, min(int(concurrency), len(workload)))
     started = time.perf_counter()
-    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    await asyncio.gather(*(worker(i) for i in range(concurrency)))
     elapsed = time.perf_counter() - started
 
     values = sorted(
@@ -189,6 +292,10 @@ async def run_loadgen(
         "seconds": round(elapsed, 6),
         "qps": round(len(workload) / elapsed, 2) if elapsed > 0 else None,
         "failures": failures,
+        "retries": retries,
+        "reconnects": reconnects,
+        "deadline_ms": deadline_ms,
+        "errors": dict(sorted(errors.items())),
         "sources": dict(sorted(sources.items())),
         "latency": latency.as_dict(),
         "distinct_values": values[:10],

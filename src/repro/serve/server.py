@@ -33,8 +33,11 @@ import json
 
 from repro.core.mincut import MinCutResult
 from repro.core.session import SolverConfig, SweepFailure
+from repro.errors import OverloadedError, ServeError
 from repro.graphs.csr import CSRGraph
 from repro.obs import metrics as obs_metrics
+from repro.serve.chaos import ChaosPlan
+from repro.serve.resilience import ResilienceConfig
 from repro.serve.service import MinCutService, ServeConfig
 
 __all__ = [
@@ -42,7 +45,14 @@ __all__ = [
     "graph_from_wire",
     "graph_to_wire",
     "result_to_wire",
+    "error_to_wire",
 ]
+
+#: wire ``error`` values a client may safely retry (the request was not,
+#: and will not be, solved -- backoff first, honoring retry_after_ms).
+RETRYABLE_WIRE_ERRORS = frozenset(
+    {"OverloadedError", "CircuitOpenError", "ServiceClosedError"}
+)
 
 #: refuse request lines larger than this (also the asyncio stream limit).
 MAX_LINE_BYTES = 32 * 1024 * 1024
@@ -102,6 +112,25 @@ def result_to_wire(result, source: str | None = None) -> dict:
     return payload
 
 
+def error_to_wire(exc: Exception) -> dict:
+    """Encode a typed serving rejection as a structured wire error.
+
+    ``error`` carries the exception class name (clients match on it or
+    on :data:`RETRYABLE_WIRE_ERRORS`); overload rejections additionally
+    carry the server's ``retry_after_ms`` backoff hint.
+    """
+    payload = {
+        "ok": False,
+        "op": "solve",
+        "error": type(exc).__name__,
+        "message": str(exc),
+        "retryable": type(exc).__name__ in RETRYABLE_WIRE_ERRORS,
+    }
+    if isinstance(exc, OverloadedError):
+        payload["retry_after_ms"] = exc.retry_after_ms
+    return payload
+
+
 class MinCutServer:
     """The TCP wrapper: owns a :class:`MinCutService` and a listener.
 
@@ -117,18 +146,25 @@ class MinCutServer:
         config: SolverConfig | None = None,
         serve: ServeConfig | None = None,
         service: MinCutService | None = None,
+        resilience: ResilienceConfig | None = None,
+        chaos: ChaosPlan | None = None,
     ):
         self.host = host
         self._requested_port = port
+        self.chaos = chaos.injector() if chaos is not None else None
         self.service = (
             service
             if service is not None
-            else MinCutService(config=config, serve=serve)
+            else MinCutService(
+                config=config, serve=serve, resilience=resilience,
+                chaos=self.chaos,
+            )
         )
         self._server: asyncio.base_events.Server | None = None
         self.connections = 0
         self.requests = 0
         self.errors = 0
+        self.resets = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -197,14 +233,37 @@ class MinCutServer:
                     continue
                 self.requests += 1
                 obs_metrics.counter("serve.tcp.requests").inc()
+                if self.chaos is not None:
+                    stall = self.chaos.slow_read_s()
+                    if stall > 0:
+                        await asyncio.sleep(stall)
+                    fate = self.chaos.connection_fate()
+                    if fate == "drop-before":
+                        # The request is never dispatched; the client
+                        # sees a reset and must retry from scratch.
+                        self.resets += 1
+                        obs_metrics.counter("serve.tcp.resets").inc()
+                        break
+                    if fate == "drop-after":
+                        # Solve (and cache) the result, then lose the
+                        # response: the retry must be a cache hit.
+                        await self._dispatch(stripped)
+                        self.resets += 1
+                        obs_metrics.counter("serve.tcp.resets").inc()
+                        break
                 response = await self._dispatch(stripped)
-                writer.write(
-                    json.dumps(response, default=_json_default).encode()
-                    + b"\n"
-                )
                 try:
+                    writer.write(
+                        json.dumps(response, default=_json_default).encode()
+                        + b"\n"
+                    )
                     await writer.drain()
-                except ConnectionError:
+                except (ConnectionError, OSError):
+                    # The client vanished mid-write.  The request itself
+                    # already resolved (result cached or typed error);
+                    # close this connection without disturbing others.
+                    self.resets += 1
+                    obs_metrics.counter("serve.tcp.resets").inc()
                     break
         finally:
             writer.close()
@@ -223,12 +282,24 @@ class MinCutServer:
             if op == "ping":
                 return {"ok": True, "op": "ping"}
             if op == "stats":
-                return {"ok": True, "op": "stats", "stats": self.service.stats()}
+                stats = self.service.stats()
+                stats["tcp"] = {
+                    "connections": self.connections,
+                    "requests": self.requests,
+                    "errors": self.errors,
+                    "resets": self.resets,
+                }
+                return {"ok": True, "op": "stats", "stats": stats}
             if op != "solve":
                 raise ValueError(f"unknown op {op!r}")
             graph = graph_from_wire(request.get("graph"))
             seed = int(request.get("seed", 0))
             solver = request.get("solver")
+            deadline_ms = request.get("deadline_ms")
+            if deadline_ms is not None:
+                deadline_ms = float(deadline_ms)
+                if deadline_ms <= 0:
+                    raise ValueError("deadline_ms must be positive")
         except Exception as exc:
             self.errors += 1
             obs_metrics.counter("serve.tcp.bad_requests").inc()
@@ -240,8 +311,14 @@ class MinCutServer:
             }
         try:
             result, source = await self.service.submit_info(
-                graph, seed=seed, solver=solver
+                graph, seed=seed, solver=solver, deadline_ms=deadline_ms
             )
+        except ServeError as exc:
+            # Typed rejection (deadline, overload, breaker, shutdown):
+            # structured, and flagged retryable where a retry can help.
+            self.errors += 1
+            obs_metrics.counter("serve.tcp.rejections").inc()
+            return error_to_wire(exc)
         except Exception as exc:
             # Defensive: per-graph failures come back as SweepFailure
             # records; anything escaping here is a service-level error.

@@ -33,10 +33,36 @@ directly -- value, witness, partition, and round ledger -- whichever of
 the four paths (result cache, in-flight share, warm packing, cold batch)
 served them; the serve test suite asserts this via ``result.verify()``.
 
+Overload safety (PR 10) wraps the request path end to end
+(:mod:`repro.serve.resilience`):
+
+* **deadlines** -- a per-request budget (request field or
+  ``REPRO_SERVE_DEADLINE_MS``) checked on arrival, again when its batch
+  flushes, and enforced mid-solve by a **watchdog** that fails (never
+  hangs) a fused batch whose worker thread overruns -- surviving
+  batch-mates degrade to individual solves with bit-identical results,
+  the PR 6 degradation idiom lifted to the service;
+* **admission control** -- depth/byte budgets shed excess load with a
+  typed :class:`~repro.errors.OverloadedError` carrying
+  ``retry_after_ms``;
+* a per-:class:`SolverConfig` **circuit breaker** so one poisoned graph
+  family rejects fast (:class:`~repro.errors.CircuitOpenError`) instead
+  of burning the worker pool;
+* **graceful shutdown** -- :meth:`MinCutService.stop` stops admitting,
+  drains in-flight work, and rejects stragglers with a typed
+  :class:`~repro.errors.ServiceClosedError` (hard stop:
+  ``stop(drain=False)`` rejects immediately).
+
+Every rejection is a typed :class:`~repro.errors.ServeError`; the
+seeded :class:`~repro.serve.chaos.ChaosPlan` harness
+(``pytest -m servechaos``) asserts the full contract: result-or-typed-
+error, never a hang, ledgers reconciling with the injected faults.
+
 Instrumentation rides on :mod:`repro.obs` (spans ``serve.batch`` /
-``serve.solve_warm``, counters/gauges/histograms under ``serve.*``) and
-on always-on plain counters surfaced by :meth:`MinCutService.stats`,
-including p50/p99 latency from a fixed-bucket histogram.
+``serve.solve_warm``, counters/gauges/histograms under ``serve.*`` and
+``serve.resilience.*``) and on always-on plain counters surfaced by
+:meth:`MinCutService.stats`, including p50/p99 latency from a
+fixed-bucket histogram.
 """
 
 from __future__ import annotations
@@ -59,6 +85,7 @@ from repro.core.session import (
     SweepFailure,
     minimum_cut_many,
 )
+from repro.errors import ServiceClosedError
 from repro.graphs.csr import CSRGraph
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
@@ -68,6 +95,13 @@ from repro.serve.batcher import (
     env_batch_ms,
 )
 from repro.serve.cache import PackingCache, env_cache_bytes
+from repro.serve.chaos import ChaosInjector, ChaosPlan, ChaosWorkerError
+from repro.serve.resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    Deadline,
+    ResilienceConfig,
+)
 
 __all__ = ["ServeConfig", "MinCutService", "LatencyHistogram"]
 
@@ -199,6 +233,14 @@ class LatencyHistogram:
             }
 
 
+def _graph_nbytes(csr: CSRGraph) -> int:
+    """Resident bytes of one request graph (the admission byte unit)."""
+    return int(
+        csr.edge_u.nbytes + csr.edge_v.nbytes + csr.edge_w.nbytes
+        + csr.indptr.nbytes
+    )
+
+
 @dataclass
 class _Pending:
     """One queued request: identity key, graph, and its result future."""
@@ -208,6 +250,9 @@ class _Pending:
     seed: int
     solver: str
     future: asyncio.Future = field(repr=False)
+    deadline: "Deadline | None" = None
+    nbytes: int = 0
+    released: bool = False
 
 
 class MinCutService:
@@ -230,6 +275,8 @@ class MinCutService:
         self,
         config: SolverConfig | None = None,
         serve: ServeConfig | None = None,
+        resilience: ResilienceConfig | None = None,
+        chaos: "ChaosPlan | ChaosInjector | None" = None,
     ):
         self.config = (
             config
@@ -238,6 +285,12 @@ class MinCutService:
         )
         get_solver(self.config.solver)  # fail fast on unknown names
         self.serve = serve if serve is not None else ServeConfig.from_env()
+        self.resilience = (
+            resilience if resilience is not None else ResilienceConfig.from_env()
+        )
+        self._chaos = (
+            chaos.injector() if isinstance(chaos, ChaosPlan) else chaos
+        )
         self._sessions: dict[SolverConfig, MinCutSolver] = {}
         self._packings = PackingCache(
             env_cache_bytes()
@@ -256,9 +309,17 @@ class MinCutService:
                 else self.serve.batch_ms
             ),
             max_batch=self.serve.max_batch,
+            on_error=self._flush_failed,
         )
+        self._admission = AdmissionController(self.resilience)
+        self._breakers: dict[SolverConfig, CircuitBreaker] = {}
         self._executor: ThreadPoolExecutor | None = None
+        self._degrade_executor: ThreadPoolExecutor | None = None
         self._started_at: float | None = None
+        self._closing = False
+        #: watchdog-abandoned batch solves still holding a worker thread
+        #: (drives whether shutdown can afford to wait for the pool).
+        self._abandoned = 0
         self.latency = LatencyHistogram()
         self.requests = 0
         self.result_hits = 0
@@ -266,6 +327,16 @@ class MinCutService:
         self.solved = 0
         self.failures = 0
         self.warm_solves = 0
+        self.expired = 0
+        self.watchdog_trips = 0
+        self.degraded = 0
+        self.closed_rejections = 0
+
+    def _now(self) -> float:
+        """The service's deadline clock (chaos-skewable)."""
+        if self._chaos is not None:
+            return self._chaos.clock()
+        return time.monotonic()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -276,19 +347,51 @@ class MinCutService:
                 max_workers=1, thread_name_prefix="repro-serve"
             )
             self._started_at = time.perf_counter()
+            self._closing = False
             await self._batcher.start()
         return self
 
-    async def stop(self) -> None:
+    async def stop(self, drain: bool = True) -> None:
+        """Shut the service down.
+
+        ``drain=True`` (graceful): stop admitting new requests
+        (:class:`ServiceClosedError` at the front door), flush and
+        finish everything already in the system, then retire the worker
+        pool.  ``drain=False`` (hard stop): cancel the collector,
+        reject every unanswered request with a typed
+        :class:`ServiceClosedError`, and abandon the pool without
+        waiting.  Either way no pending future is left unresolved --
+        the PR 8 ordering bug (cancelling futures *after*
+        ``shutdown(wait=True)`` had already drained them, a no-op) is
+        exactly what this replaces.
+        """
         if self._executor is None:
             return
-        await self._batcher.stop()
-        self._executor.shutdown(wait=True)
-        self._executor = None
-        for future in self._inflight.values():
+        self._closing = True
+        stranded = await self._batcher.stop(flush=drain)
+        for pending in stranded:
+            self._reject(pending, ServiceClosedError(
+                "service stopped before this request was solved"
+            ))
+            self.closed_rejections += 1
+        # Any still-unresolved in-flight future lost its batch (hard
+        # stop mid-solve, or a drain cut short by an abandoned worker):
+        # reject it typed rather than leave a caller hanging.
+        for key, future in list(self._inflight.items()):
             if not future.done():
-                future.cancel()
-        self._inflight.clear()
+                future.set_exception(ServiceClosedError(
+                    "service stopped before this request was solved"
+                ))
+                self.closed_rejections += 1
+            self._inflight.pop(key, None)
+        wait = drain and self._abandoned == 0
+        self._executor.shutdown(wait=wait, cancel_futures=not drain)
+        if self._degrade_executor is not None:
+            self._degrade_executor.shutdown(
+                wait=wait, cancel_futures=not drain
+            )
+            self._degrade_executor = None
+        self._executor = None
 
     async def __aenter__(self) -> "MinCutService":
         return await self.start()
@@ -301,18 +404,39 @@ class MinCutService:
     # The request path
     # ------------------------------------------------------------------
     async def submit(
-        self, graph, seed: int = 0, solver: str | None = None
+        self,
+        graph,
+        seed: int = 0,
+        solver: str | None = None,
+        deadline_ms: float | None = None,
     ) -> "MinCutResult | SweepFailure":
-        """Solve ``graph`` through the serving tier (awaitable)."""
-        result, _source = await self.submit_info(graph, seed, solver)
+        """Solve ``graph`` through the serving tier (awaitable).
+
+        Raises a typed :class:`~repro.errors.ServeError` subclass when
+        the tier *rejects* the request (deadline expired, load shed,
+        circuit open, service closed); per-graph solve failures still
+        come back as :class:`SweepFailure` records.
+        """
+        result, _source = await self.submit_info(
+            graph, seed, solver, deadline_ms=deadline_ms
+        )
         return result
 
     async def submit_info(
-        self, graph, seed: int = 0, solver: str | None = None
+        self,
+        graph,
+        seed: int = 0,
+        solver: str | None = None,
+        deadline_ms: float | None = None,
     ) -> "tuple[MinCutResult | SweepFailure, str]":
         """Like :meth:`submit`, also reporting which path answered:
         ``"result-cache"``, ``"inflight"``, or ``"solved"``."""
-        if self._executor is None:
+        if self._executor is None or self._closing:
+            if self._closing:
+                self.closed_rejections += 1
+                raise ServiceClosedError(
+                    "service is draining; not admitting new requests"
+                )
             raise RuntimeError(
                 "service not started (use `async with MinCutService()` "
                 "or await start())"
@@ -346,15 +470,53 @@ class MinCutService:
             self._observe_latency(started)
             return result, "inflight"
 
+        # -- overload protection, cheapest check first ------------------
+        # (cache/in-flight hits above are free and never shed.)
+        budget_ms = (
+            deadline_ms
+            if deadline_ms is not None
+            else self.resilience.deadline_ms
+        )
+        deadline = Deadline(budget_ms) if budget_ms else None
+        if deadline is not None and deadline.expired(self._now()):
+            # only possible under clock skew: the budget died in transit.
+            self.expired += 1
+            obs_metrics.counter("serve.resilience.expired").inc()
+            raise deadline.error(self._now(), "before batching")
+        breaker = self._breaker_for(name)
+        if breaker is not None:
+            try:
+                breaker.allow(name)
+            except Exception:
+                obs_metrics.counter("serve.resilience.breaker_open").inc()
+                raise
+        nbytes = _graph_nbytes(csr)
+        try:
+            self._admission.admit(nbytes)
+        except Exception:
+            obs_metrics.counter("serve.resilience.shed").inc()
+            raise
+
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._inflight[key] = future
         pending = _Pending(
-            key=key, csr=csr, seed=int(seed), solver=name, future=future
+            key=key, csr=csr, seed=int(seed), solver=name, future=future,
+            deadline=deadline, nbytes=nbytes,
         )
-        await self._batcher.put(pending)
-        result = await future
-        self._observe_latency(started)
+        try:
+            await self._batcher.put(pending)
+        except RuntimeError:
+            self._release(pending)
+            self._inflight.pop(key, None)
+            self.closed_rejections += 1
+            raise ServiceClosedError(
+                "service is draining; not admitting new requests"
+            ) from None
+        try:
+            result = await future
+        finally:
+            self._observe_latency(started)
         return result, "solved"
 
     def _observe_latency(self, started: float) -> None:
@@ -367,28 +529,219 @@ class MinCutService:
     # ------------------------------------------------------------------
     # Batch execution
     # ------------------------------------------------------------------
-    async def _flush(self, batch) -> None:
-        loop = asyncio.get_running_loop()
-        try:
-            outcomes = await loop.run_in_executor(
-                self._executor, self._solve_batch, list(batch)
+    def _breaker_for(self, solver: str) -> "CircuitBreaker | None":
+        if self.resilience.breaker_threshold <= 0:
+            return None
+        config = (
+            self.config
+            if solver == self.config.solver
+            else self.config.replace(solver=solver)
+        )
+        breaker = self._breakers.get(config)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                threshold=self.resilience.breaker_threshold,
+                reset_ms=self.resilience.breaker_reset_ms,
+                clock=self._now,
             )
-        except Exception as exc:  # defensive: the whole batch call died
-            for pending in batch:
-                self._inflight.pop(pending.key, None)
-                if not pending.future.done():
-                    pending.future.set_exception(exc)
+            self._breakers[config] = breaker
+        return breaker
+
+    def _release(self, pending: _Pending) -> None:
+        """Give the request's admission slot back (exactly once)."""
+        if not pending.released:
+            pending.released = True
+            self._admission.release(pending.nbytes)
+
+    def _reject(self, pending: _Pending, error: Exception) -> None:
+        """Resolve one request with a typed rejection."""
+        self._release(pending)
+        self._inflight.pop(pending.key, None)
+        if not pending.future.done():
+            pending.future.set_exception(error)
+
+    def _settle(self, pending: _Pending, result) -> None:
+        """Resolve one request with its solve outcome (result/failure)."""
+        self._release(pending)
+        breaker = self._breaker_for(pending.solver)
+        if isinstance(result, MinCutResult):
+            self.solved += 1
+            self._result_put(pending.key, result)
+            if breaker is not None:
+                breaker.record_success()
+        else:
+            self.failures += 1
+            obs_metrics.counter("serve.failures").inc()
+            # Only solve-stage failures poison a circuit: validate-stage
+            # rejections are the client's bad input, not the solver's.
+            if breaker is not None and result.stage == "solve":
+                breaker.record_failure()
+        self._inflight.pop(pending.key, None)
+        if not pending.future.done():
+            pending.future.set_result(result)
+
+    def _expire(self, pending: _Pending, where: str) -> None:
+        self.expired += 1
+        obs_metrics.counter("serve.resilience.expired").inc()
+        self._reject(
+            pending, pending.deadline.error(self._now(), where)
+        )
+
+    def _watchdog_budget_s(self, batch) -> "float | None":
+        """Wall-clock budget for one fused batch solve, in seconds."""
+        now = self._now()
+        candidates = [
+            pending.deadline.remaining_s(now)
+            for pending in batch
+            if pending.deadline is not None
+        ]
+        if self.resilience.watchdog_ms is not None:
+            candidates.append(self.resilience.watchdog_ms / 1000.0)
+        if not candidates:
+            return None
+        return max(min(candidates), 0.001)
+
+    async def _flush(self, batch) -> None:
+        # Requests whose budget died while queued are rejected typed,
+        # before costing any solve.
+        live = []
+        for pending in batch:
+            if pending.deadline is not None and pending.deadline.expired(
+                self._now()
+            ):
+                self._expire(pending, "while queued")
+            else:
+                live.append(pending)
+        if not live:
+            return
+        loop = asyncio.get_running_loop()
+        budget = self._watchdog_budget_s(live)
+        task = loop.run_in_executor(
+            self._executor, self._solve_batch, list(live)
+        )
+        try:
+            if budget is None:
+                outcomes = await task
+            else:
+                outcomes = await asyncio.wait_for(
+                    asyncio.shield(task), timeout=budget
+                )
+        except asyncio.TimeoutError:
+            # The watchdog tripped: the fused solve overran the tightest
+            # member budget.  The worker thread cannot be killed -- it is
+            # abandoned (its late result is discarded by the future.done()
+            # guards) and the batch degrades to individual solves.
+            self.watchdog_trips += 1
+            obs_metrics.counter("serve.resilience.watchdog_trips").inc()
+            self._abandon(task)
+            await self._degrade(live)
+            return
+        except Exception:
+            # The whole batch call died inside the worker (for real, or
+            # via chaos injection): per the PR 6 idiom, degrade to
+            # individual solves -- bit-identical when they succeed.
+            await self._degrade(live)
             return
         for pending, result in outcomes:
-            if isinstance(result, MinCutResult):
-                self.solved += 1
-                self._result_put(pending.key, result)
+            self._settle(pending, result)
+
+    def _abandon(self, task: "asyncio.Future") -> None:
+        """Account for a watchdog-abandoned solve still holding its
+        worker thread (consumes its eventual result/exception)."""
+        self._abandoned += 1
+
+        def _consume(done: "asyncio.Future") -> None:
+            self._abandoned -= 1
+            if not done.cancelled():
+                done.exception()  # retrieve, so nothing warns later
+
+        task.add_done_callback(_consume)
+
+    async def _degrade(self, batch) -> None:
+        """Individually re-solve a failed/overrun batch's members.
+
+        Mirrors the pinned-budget degradation idiom of PR 6: the fused
+        fast path failed, so each member gets its own (bit-identical)
+        solve on a spare worker, bounded by whatever budget it has left;
+        members with no budget left are expired typed.
+        """
+        await asyncio.gather(
+            *(self._degrade_one(pending) for pending in batch)
+        )
+
+    async def _degrade_one(self, pending: _Pending) -> None:
+        now = self._now()
+        if pending.deadline is not None and pending.deadline.expired(now):
+            self._expire(pending, "mid-solve (batch watchdog)")
+            return
+        # Only a request's own deadline bounds its degraded solve:
+        # ``watchdog_ms`` fails the *fused* fast path fast, but the
+        # recovery solve of a deadline-less member must be allowed to
+        # finish (there is no tighter typed error to give it).
+        budget = (
+            max(pending.deadline.remaining_s(now), 0.001)
+            if pending.deadline is not None
+            else None
+        )
+        loop = asyncio.get_running_loop()
+        task = loop.run_in_executor(
+            self._degrade_pool(), self._solve_single, pending
+        )
+        try:
+            if budget is None:
+                outcomes = await task
             else:
-                self.failures += 1
-                obs_metrics.counter("serve.failures").inc()
-            self._inflight.pop(pending.key, None)
-            if not pending.future.done():
-                pending.future.set_result(result)
+                outcomes = await asyncio.wait_for(
+                    asyncio.shield(task), timeout=budget
+                )
+        except asyncio.TimeoutError:
+            self._abandon(task)
+            self._expire(pending, "mid-solve (degraded solve)")
+            return
+        except Exception as exc:
+            # Even the individual solve died on infrastructure: report
+            # it structurally, never as a bare exception.
+            self._settle(pending, SweepFailure(
+                index=0,
+                seed=pending.seed,
+                stage="solve",
+                error=type(exc).__name__,
+                message=str(exc),
+                solver=pending.solver,
+                graph_hash=pending.key[0],
+            ))
+            return
+        self.degraded += 1
+        obs_metrics.counter("serve.resilience.degraded").inc()
+        for member, result in outcomes:
+            if isinstance(result, MinCutResult):
+                result.stats["served_degraded"] = True
+            self._settle(member, result)
+
+    def _degrade_pool(self) -> ThreadPoolExecutor:
+        """Spare workers for degraded solves (the primary worker may be
+        wedged under the very batch being degraded)."""
+        if self._degrade_executor is None:
+            self._degrade_executor = ThreadPoolExecutor(
+                max_workers=2, thread_name_prefix="repro-serve-degrade"
+            )
+        return self._degrade_executor
+
+    def _solve_single(self, pending: _Pending):
+        """Worker-thread body of one degraded individual solve."""
+        with self.config._trace_scope():
+            with obs_trace.span(
+                "serve.solve_degraded", solver=pending.solver, n=pending.csr.n
+            ):
+                return self._solve_batch_inner([pending])
+
+    async def _flush_failed(self, batch, exc: BaseException) -> None:
+        """Batcher ``on_error`` backstop: :meth:`_flush` already contains
+        every failure it knows about, so anything surfacing here is a
+        bug in the flush path itself -- still, resolve every future."""
+        for pending in batch:
+            self._reject(pending, exc if isinstance(exc, Exception)
+                         else RuntimeError(repr(exc)))
 
     def _result_put(self, key: tuple, result: MinCutResult) -> None:
         if self._results is None:
@@ -418,6 +771,11 @@ class MinCutService:
 
     def _solve_batch(self, batch):
         """Worker-thread body: warm solves + one fused cold sweep per solver."""
+        if self._chaos is not None and self._chaos.worker_error():
+            # The chaos plan kills this fused solve the way a real
+            # worker-thread bug would; _flush degrades the members to
+            # individual (chaos-free, bit-identical) solves.
+            raise ChaosWorkerError("injected worker-thread failure")
         with self.config._trace_scope():
             with obs_trace.span("serve.batch", requests=len(batch)):
                 return self._solve_batch_inner(batch)
@@ -556,6 +914,21 @@ class MinCutService:
             "latency": self.latency.as_dict(),
             "batcher": self._batcher.stats(),
             "packing_cache": self._packings.stats(),
+            "resilience": {
+                "shed": self._admission.shed,
+                "expired": self.expired,
+                "watchdog_trips": self.watchdog_trips,
+                "degraded": self.degraded,
+                "closed_rejections": self.closed_rejections,
+                "admission": self._admission.stats(),
+                "breakers": {
+                    config.solver: breaker.stats()
+                    for config, breaker in self._breakers.items()
+                },
+            },
+            "chaos": (
+                self._chaos.stats() if self._chaos is not None else None
+            ),
             "sessions": len(self._sessions),
             "uptime_seconds": None if uptime is None else round(uptime, 6),
             "qps": (

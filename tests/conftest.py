@@ -2,10 +2,53 @@
 
 from __future__ import annotations
 
+import faulthandler
+import os
 import random
 
 import networkx as nx
 import pytest
+
+# ----------------------------------------------------------------------
+# Per-test hang watchdog
+# ----------------------------------------------------------------------
+# The serving/chaos suites assert "typed error, never a hang" -- so a
+# regression that deadlocks must fail CI loudly instead of wedging it.
+# Tests carrying these markers get a wall-clock watchdog that dumps every
+# thread's traceback and kills the process when it fires.
+#
+# ``REPRO_TEST_TIMEOUT`` overrides: seconds per test for *all* tests,
+# ``0`` (or negative) disables the watchdog entirely.  Unset, only the
+# async suites below are armed (local runs of pure-CPU suites stay
+# untouched, e.g. under a debugger).
+_WATCHDOG_MARKERS = ("serve", "servechaos")
+_WATCHDOG_DEFAULT_S = 120.0
+
+
+def _watchdog_seconds(item) -> "float | None":
+    raw = os.environ.get("REPRO_TEST_TIMEOUT")
+    if raw is not None:
+        try:
+            value = float(raw)
+        except ValueError:
+            return None
+        return value if value > 0 else None
+    for marker in _WATCHDOG_MARKERS:
+        if item.get_closest_marker(marker) is not None:
+            return _WATCHDOG_DEFAULT_S
+    return None
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    seconds = _watchdog_seconds(item)
+    if seconds is not None:
+        faulthandler.dump_traceback_later(seconds, exit=True)
+    try:
+        yield
+    finally:
+        if seconds is not None:
+            faulthandler.cancel_dump_traceback_later()
 
 from repro.graphs import (
     cycle_graph,

@@ -18,11 +18,23 @@ import repro
 from repro.core.mincut import MinCutResult
 from repro.core.session import SweepFailure
 from repro.graphs import CSR_FAMILY_BUILDERS, CSRGraph
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    OverloadedError,
+    ServiceClosedError,
+)
 from repro.serve import (
+    AdmissionController,
     Batcher,
+    ChaosPlan,
+    CircuitBreaker,
+    Deadline,
     MinCutServer,
     MinCutService,
     PackingCache,
+    ResilienceConfig,
+    RetryPolicy,
     ServeClient,
     ServeConfig,
     graph_from_wire,
@@ -505,3 +517,595 @@ class TestMinCutServer:
         assert stats["solved"] == 4
         assert sum(summary["sources"].values()) == 24
         assert summary["sources"].get("result-cache", 0) >= 16
+
+# ----------------------------------------------------------------------
+# Resilience primitives (unit level)
+# ----------------------------------------------------------------------
+class TestResiliencePrimitives:
+    def test_deadline_budget_and_expiry(self):
+        clock = [100.0]
+        deadline = Deadline(50.0, clock=lambda: clock[0])
+        assert deadline.remaining_s(clock[0]) == pytest.approx(0.05)
+        assert not deadline.expired(clock[0])
+        clock[0] += 0.06
+        assert deadline.expired(clock[0])
+        error = deadline.error(clock[0], "while queued")
+        assert isinstance(error, DeadlineExceededError)
+        assert error.deadline_ms == 50.0
+        assert error.elapsed_ms == pytest.approx(60.0)
+        assert "while queued" in str(error)
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+
+    def test_admission_depth_budget(self):
+        admission = AdmissionController(
+            ResilienceConfig(max_queue=2, retry_after_ms=10.0)
+        )
+        admission.admit(100)
+        admission.admit(100)
+        with pytest.raises(OverloadedError) as excinfo:
+            admission.admit(100)
+        assert excinfo.value.retry_after_ms >= 10.0
+        admission.release(100)
+        admission.admit(100)  # freed slot admits again
+        stats = admission.stats()
+        assert stats["admitted"] == 3
+        assert stats["shed"] == 1
+        assert stats["peak_depth"] == 2
+
+    def test_admission_byte_budget_and_oversized_idle_rule(self):
+        admission = AdmissionController(
+            ResilienceConfig(max_queue_bytes=1000)
+        )
+        # A single request bigger than the whole budget is admitted when
+        # the queue is idle (it would otherwise be unservable forever).
+        admission.admit(5000)
+        with pytest.raises(OverloadedError):
+            admission.admit(10)  # now over budget, and not idle
+        admission.release(5000)
+        admission.admit(10)
+
+    def test_circuit_breaker_state_machine(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            threshold=2, reset_ms=100.0, clock=lambda: clock[0]
+        )
+        breaker.allow("x")
+        breaker.record_failure()
+        breaker.allow("x")  # one failure: still closed
+        breaker.record_failure()
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.allow("x")
+        assert 0 < excinfo.value.retry_after_ms <= 100.0
+        clock[0] += 0.2  # past the cooldown: half-open probe admitted
+        breaker.allow("x")
+        assert breaker.state == "half-open"
+        breaker.record_failure()  # probe failed: straight back open
+        assert breaker.state == "open"
+        clock[0] += 0.2
+        breaker.allow("x")
+        breaker.record_success()
+        assert breaker.state == "closed"
+        stats = breaker.stats()
+        assert stats["opens"] == 2
+        assert stats["rejected"] == 1
+        assert stats["probes"] == 2
+
+    def test_circuit_breaker_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # never 3 *consecutive*
+
+    def test_retry_policy_backoff_grows_capped_and_seeded(self):
+        policy = RetryPolicy(
+            attempts=5, base_ms=10.0, cap_ms=80.0, multiplier=2.0,
+            jitter=1.0, seed=7,
+        )
+        delays = [policy.delay_ms(a, policy.rng()) for a in range(5)]
+        assert delays == [10.0, 20.0, 40.0, 80.0, 80.0]  # capped
+        jittered = RetryPolicy(seed=7)
+        assert [jittered.delay_ms(a, jittered.rng()) for a in range(3)] == [
+            jittered.delay_ms(a, jittered.rng()) for a in range(3)
+        ]  # same seed -> same jitter stream
+
+    def test_retry_policy_honors_server_hint(self):
+        policy = RetryPolicy(base_ms=1.0, cap_ms=500.0, seed=0)
+        assert policy.delay_ms(0, retry_after_ms=200.0) == 200.0
+        # ... but never beyond the client's own cap.
+        assert policy.delay_ms(0, retry_after_ms=9000.0) == 500.0
+
+    def test_resilience_config_validation_and_env(self, monkeypatch):
+        with pytest.raises(ValueError):
+            ResilienceConfig(deadline_ms=-1)
+        with pytest.raises(ValueError):
+            ResilienceConfig(max_queue=0)
+        monkeypatch.setenv("REPRO_SERVE_DEADLINE_MS", "250")
+        monkeypatch.setenv("REPRO_SERVE_MAX_QUEUE", "32")
+        config = ResilienceConfig.from_env()
+        assert config.deadline_ms == 250.0
+        assert config.max_queue == 32
+        assert ResilienceConfig.from_env(max_queue=8).max_queue == 8
+        monkeypatch.setenv("REPRO_SERVE_DEADLINE_MS", "garbage")
+        monkeypatch.setenv("REPRO_SERVE_MAX_QUEUE", "-3")
+        config = ResilienceConfig.from_env()
+        assert config.deadline_ms is None
+        assert config.max_queue is None
+
+    def test_chaos_plan_parse_and_validation(self):
+        from repro.errors import FaultPlanError
+
+        plan = ChaosPlan.parse("seed=7,drop_before=0.05,worker=0.2")
+        assert plan.seed == 7
+        assert plan.drop_before_rate == 0.05
+        assert plan.worker_exception_rate == 0.2
+        assert ChaosPlan.parse("9").seed == 9
+        assert not ChaosPlan.parse("").is_calm()  # default mixed plan
+        assert ChaosPlan().is_calm()
+        with pytest.raises(FaultPlanError):
+            ChaosPlan.parse("nonsense=1")
+        with pytest.raises(FaultPlanError):
+            ChaosPlan(drop_before_rate=1.5)
+
+    def test_chaos_injector_is_deterministic(self):
+        plan = ChaosPlan(
+            seed=3, drop_before_rate=0.3, drop_after_rate=0.3,
+            slow_read_rate=0.3, worker_exception_rate=0.3,
+        )
+        a, b = plan.injector(), plan.injector()
+        fates = [(a.connection_fate(), a.slow_read_s(), a.worker_error())
+                 for _ in range(50)]
+        again = [(b.connection_fate(), b.slow_read_s(), b.worker_error())
+                 for _ in range(50)]
+        assert fates == again
+        assert a.stats() == b.stats()
+
+
+# ----------------------------------------------------------------------
+# Batcher edge cases (satellite: every pending future must resolve)
+# ----------------------------------------------------------------------
+class TestBatcherEdgeCases:
+    def test_stop_racing_open_window_still_flushes(self):
+        flushed = []
+
+        async def flush(batch):
+            flushed.append(list(batch))
+
+        async def scenario():
+            batcher = Batcher(flush, batch_ms=200.0, max_batch=8)
+            await batcher.start()
+            await batcher.put("a")  # opens a 200 ms window ...
+            stranded = await batcher.stop()  # ... stop lands inside it
+            return stranded
+
+        stranded = run(scenario())
+        assert stranded == []
+        assert flushed == [["a"]]
+
+    def test_items_enqueued_during_drain_are_flushed(self):
+        flushed = []
+        first_flush_started = asyncio.Event()
+
+        async def flush(batch):
+            flushed.append(list(batch))
+            if len(flushed) == 1:
+                first_flush_started.set()
+                await asyncio.sleep(0.05)  # hold the collector busy
+
+        async def scenario():
+            batcher = Batcher(flush, batch_ms=1.0, max_batch=8)
+            await batcher.start()
+            await batcher.put("a")
+            await first_flush_started.wait()
+            await batcher.put("b")  # queued while the flush is running
+            await batcher.put("c")
+            stranded = await batcher.stop()
+            return stranded
+
+        stranded = run(scenario())
+        assert stranded == []
+        assert flushed[0] == ["a"]
+        assert [i for batch in flushed[1:] for i in batch] == ["b", "c"]
+
+    def test_raising_flush_routed_to_on_error_collector_survives(self):
+        flushed, errored = [], []
+
+        async def flush(batch):
+            if "bad" in batch:
+                raise ValueError("injected flush failure")
+            flushed.append(list(batch))
+
+        async def on_error(batch, exc):
+            errored.append((list(batch), exc))
+
+        async def scenario():
+            batcher = Batcher(
+                flush, batch_ms=1.0, max_batch=8, on_error=on_error
+            )
+            await batcher.start()
+            await batcher.put("bad")
+            await asyncio.sleep(0.02)
+            await batcher.put("good")  # the collector must still be alive
+            await batcher.stop()
+            return batcher.stats()
+
+        stats = run(scenario())
+        assert errored and errored[0][0] == ["bad"]
+        assert isinstance(errored[0][1], ValueError)
+        assert flushed == [["good"]]
+        assert stats["flush_errors"] == 1
+
+    def test_hard_stop_returns_stranded_items(self):
+        release = asyncio.Event()
+
+        async def flush(batch):
+            await release.wait()
+
+        async def scenario():
+            batcher = Batcher(flush, batch_ms=0.0, max_batch=1)
+            await batcher.start()
+            await batcher.put("a")  # max_batch=1: flushes (and blocks)
+            await asyncio.sleep(0.02)
+            await batcher.put("b")  # still queued behind the stuck flush
+            await batcher.put("c")
+            stranded = await batcher.stop(flush=False)
+            release.set()
+            return stranded
+
+        assert run(scenario()) == ["b", "c"]
+
+    def test_put_after_stop_fails_fast(self):
+        async def flush(batch):
+            pass
+
+        async def scenario():
+            batcher = Batcher(flush, batch_ms=1.0)
+            await batcher.start()
+            await batcher.stop()
+            with pytest.raises(RuntimeError):
+                await batcher.put("late")
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Service-level overload protection
+# ----------------------------------------------------------------------
+def register_sleepy_solver(name="sleepy", sleep_s=0.3):
+    """A registered solver that wedges its worker thread for a while."""
+    import time as _time
+
+    from repro.core.session import GraphPacking, SolveContext  # noqa: F401
+
+    def sleepy(packed, ctx):
+        _time.sleep(sleep_s)
+        return packed.finalize_partition(frozenset([0]), ctx)
+
+    repro.register_solver(name, sleepy, uses_packing=False)
+    return name
+
+
+class TestServiceResilience:
+    CONFIG = ServeConfig(batch_ms=2.0)
+
+    def test_admission_sheds_when_worker_is_busy(self):
+        name = register_sleepy_solver("sleepy-shed", sleep_s=0.25)
+        try:
+            resilience = ResilienceConfig(max_queue=1, retry_after_ms=15.0)
+
+            async def scenario():
+                async with MinCutService(
+                    serve=self.CONFIG, resilience=resilience
+                ) as service:
+                    slow = asyncio.ensure_future(
+                        service.submit(build("gnm", 16, 0), solver=name)
+                    )
+                    await asyncio.sleep(0.05)  # it is admitted and solving
+                    with pytest.raises(OverloadedError) as excinfo:
+                        await service.submit(build("gnm", 16, 1))
+                    shed_error = excinfo.value
+                    first = await slow
+                    # The slot freed: the same graph is admitted now.
+                    second = await service.submit(build("gnm", 16, 1))
+                    return first, second, shed_error, service.stats()
+
+            first, second, shed_error, stats = run(scenario())
+            assert isinstance(first, MinCutResult)
+            assert shed_error.retry_after_ms >= 15.0
+            assert_served_bit_identical(second, build("gnm", 16, 1), 0)
+            assert stats["resilience"]["shed"] == 1
+            assert stats["resilience"]["admission"]["shed"] == 1
+        finally:
+            repro.unregister_solver("sleepy-shed")
+
+    def test_cache_hits_are_never_shed(self):
+        resilience = ResilienceConfig(max_queue=1)
+
+        async def scenario():
+            async with MinCutService(
+                serve=self.CONFIG, resilience=resilience
+            ) as service:
+                graph = build("gnm", 16, 2)
+                await service.submit(graph, seed=2)
+                # Saturate the admission slot with a live request ...
+                name = register_sleepy_solver("sleepy-hit", sleep_s=0.2)
+                try:
+                    slow = asyncio.ensure_future(
+                        service.submit(build("gnm", 16, 3), solver=name)
+                    )
+                    await asyncio.sleep(0.05)
+                    # ... and the cached repeat still answers instantly.
+                    result, source = await service.submit_info(graph, seed=2)
+                    await slow
+                    return result, source
+                finally:
+                    repro.unregister_solver("sleepy-hit")
+
+        result, source = run(scenario())
+        assert source == "result-cache"
+        assert isinstance(result, MinCutResult)
+
+    def test_breaker_opens_on_consecutive_solve_failures_then_recovers(self):
+        def crashing(packed, ctx):
+            raise RuntimeError("poisoned family")
+
+        repro.register_solver("crashy", crashing, uses_packing=False)
+        try:
+            resilience = ResilienceConfig(
+                breaker_threshold=2, breaker_reset_ms=80.0
+            )
+
+            async def scenario():
+                async with MinCutService(
+                    serve=self.CONFIG, resilience=resilience
+                ) as service:
+                    first = await service.submit(
+                        build("gnm", 16, 0), solver="crashy"
+                    )
+                    second = await service.submit(
+                        build("gnm", 16, 1), solver="crashy"
+                    )
+                    with pytest.raises(CircuitOpenError) as excinfo:
+                        await service.submit(
+                            build("gnm", 16, 2), solver="crashy"
+                        )
+                    rejection = excinfo.value
+                    await asyncio.sleep(0.15)  # past the cooldown
+                    # The half-open probe reaches the (fixed) solver.
+                    repro.register_solver(
+                        "crashy",
+                        lambda packed, ctx: packed.finalize_partition(
+                            frozenset([0]), ctx
+                        ),
+                        uses_packing=False,
+                    )
+                    probe = await service.submit(
+                        build("gnm", 16, 3), solver="crashy"
+                    )
+                    return first, second, rejection, probe, service.stats()
+
+            first, second, rejection, probe, stats = run(scenario())
+            assert isinstance(first, SweepFailure) and first.stage == "solve"
+            assert isinstance(second, SweepFailure)
+            assert rejection.retry_after_ms > 0
+            assert isinstance(probe, MinCutResult)
+            breaker = stats["resilience"]["breakers"]["crashy"]
+            assert breaker["state"] == "closed"
+            assert breaker["opens"] == 1
+            assert breaker["rejected"] == 1
+            assert breaker["probes"] == 1
+        finally:
+            repro.unregister_solver("crashy")
+
+    def test_validate_failures_do_not_trip_the_breaker(self):
+        disconnected = CSRGraph(4, [0, 2], [1, 3], [1.0, 1.0])
+        resilience = ResilienceConfig(breaker_threshold=2)
+
+        async def scenario():
+            async with MinCutService(
+                serve=self.CONFIG, resilience=resilience
+            ) as service:
+                for seed in range(3):
+                    failure = await service.submit(disconnected, seed=seed)
+                    assert isinstance(failure, SweepFailure)
+                    assert failure.stage == "validate"
+                # Three bad inputs in a row: the circuit must stay shut.
+                good = await service.submit(build("gnm", 16, 0))
+                return good, service.stats()
+
+        good, stats = run(scenario())
+        assert isinstance(good, MinCutResult)
+        breaker = stats["resilience"]["breakers"]["oracle"]
+        assert breaker["state"] == "closed"
+        assert breaker["opens"] == 0
+
+    def test_watchdog_fails_batch_and_degrades_batch_mates(self):
+        name = register_sleepy_solver("sleepy-watchdog", sleep_s=0.5)
+        try:
+            fast_graph = build("gnm", 20, 1)
+
+            async def scenario():
+                async with MinCutService(serve=self.CONFIG) as service:
+                    stuck = asyncio.ensure_future(service.submit(
+                        build("gnm", 16, 0), solver=name, deadline_ms=80.0
+                    ))
+                    fast = asyncio.ensure_future(
+                        service.submit(fast_graph, seed=1)
+                    )
+                    outcomes = await asyncio.gather(
+                        stuck, fast, return_exceptions=True
+                    )
+                    return outcomes, service.stats()
+
+            (stuck, fast), stats = run(scenario())
+            # The wedged member died typed; its batch-mate was
+            # individually re-solved, bit-identically.
+            assert isinstance(stuck, DeadlineExceededError)
+            assert_served_bit_identical(fast, fast_graph, 1)
+            assert fast.stats["served_degraded"] is True
+            assert stats["resilience"]["watchdog_trips"] == 1
+            assert stats["resilience"]["degraded"] >= 1
+            assert stats["resilience"]["expired"] >= 1
+        finally:
+            repro.unregister_solver("sleepy-watchdog")
+
+    def test_watchdog_ms_bounds_deadlineless_batches(self):
+        name = register_sleepy_solver("sleepy-floor", sleep_s=0.5)
+        try:
+            resilience = ResilienceConfig(watchdog_ms=60.0)
+
+            async def scenario():
+                async with MinCutService(
+                    serve=self.CONFIG, resilience=resilience
+                ) as service:
+                    import time as _time
+                    started = _time.perf_counter()
+                    result = await service.submit(
+                        build("gnm", 16, 0), solver=name
+                    )
+                    return result, _time.perf_counter() - started
+
+            result, elapsed = run(scenario())
+            # No deadline: the watchdog trips, the degraded individual
+            # solve (still sleepy) eventually succeeds.
+            assert isinstance(result, MinCutResult)
+            assert result.stats.get("served_degraded") is True
+        finally:
+            repro.unregister_solver("sleepy-floor")
+
+
+# ----------------------------------------------------------------------
+# Shutdown ordering (satellite: drain vs hard stop)
+# ----------------------------------------------------------------------
+class TestServiceShutdown:
+    CONFIG = ServeConfig(batch_ms=2.0)
+
+    def test_graceful_drain_finishes_inflight_work(self):
+        graphs = [(build("gnm", 16, s), s) for s in range(3)]
+
+        async def scenario():
+            service = MinCutService(serve=self.CONFIG)
+            await service.start()
+            submissions = [
+                asyncio.ensure_future(service.submit(g, seed=s))
+                for g, s in graphs
+            ]
+            await asyncio.sleep(0)  # let them reach the batcher queue
+            await service.stop()  # drain: they must all resolve
+            results = await asyncio.gather(*submissions)
+            with pytest.raises(ServiceClosedError):
+                await service.submit(build("gnm", 16, 9))
+            return results, service.stats()
+
+        results, stats = run(scenario())
+        for (graph, seed), result in zip(graphs, results):
+            assert_served_bit_identical(result, graph, seed)
+        assert stats["resilience"]["closed_rejections"] == 1
+
+    def test_hard_stop_rejects_stragglers_typed_and_fast(self):
+        name = register_sleepy_solver("sleepy-stop", sleep_s=0.3)
+        try:
+            async def scenario():
+                import time as _time
+
+                service = MinCutService(serve=self.CONFIG)
+                await service.start()
+                stuck = asyncio.ensure_future(
+                    service.submit(build("gnm", 16, 0), solver=name)
+                )
+                await asyncio.sleep(0.05)  # wedged inside the worker
+                queued = [
+                    asyncio.ensure_future(
+                        service.submit(build("gnm", 16, s))
+                    )
+                    for s in (1, 2)
+                ]
+                await asyncio.sleep(0.02)
+                started = _time.perf_counter()
+                await service.stop(drain=False)
+                elapsed = _time.perf_counter() - started
+                outcomes = await asyncio.gather(
+                    stuck, *queued, return_exceptions=True
+                )
+                return outcomes, elapsed, service.stats()
+
+            outcomes, elapsed, stats = run(scenario())
+            assert all(
+                isinstance(outcome, ServiceClosedError)
+                for outcome in outcomes
+            )
+            assert elapsed < 0.25  # did not wait out the wedged solve
+            assert stats["resilience"]["closed_rejections"] == 3
+        finally:
+            repro.unregister_solver("sleepy-stop")
+
+    def test_stop_is_idempotent_and_restartable(self):
+        async def scenario():
+            service = MinCutService(serve=self.CONFIG)
+            await service.start()
+            await service.stop()
+            await service.stop()  # second stop: no-op, no error
+            await service.start()  # restart admits again
+            result = await service.submit(build("gnm", 16, 4), seed=4)
+            await service.stop()
+            return result
+
+        result = run(scenario())
+        assert isinstance(result, MinCutResult)
+
+
+# ----------------------------------------------------------------------
+# Server hardening (satellite: disconnect during drain)
+# ----------------------------------------------------------------------
+class TestServerHardening:
+    def test_disconnect_during_drain_keeps_server_alive(self, monkeypatch):
+        graph = build("gnm", 16, 0)
+        original_drain = asyncio.StreamWriter.drain
+        tripped = []
+
+        async def scenario():
+            async with MinCutServer(port=0) as server:
+                async def flaky_drain(writer_self):
+                    sockname = writer_self.transport.get_extra_info(
+                        "sockname"
+                    )
+                    if (
+                        not tripped
+                        and sockname
+                        and sockname[1] == server.port
+                    ):
+                        tripped.append(True)
+                        raise ConnectionResetError("client vanished")
+                    return await original_drain(writer_self)
+
+                monkeypatch.setattr(
+                    asyncio.StreamWriter, "drain", flaky_drain
+                )
+                async with ServeClient(port=server.port) as client:
+                    # The response bytes may still reach the client, but
+                    # the server treats the drain failure as a dead peer
+                    # and closes the connection ...
+                    await client.solve(graph, seed=0)
+                    with pytest.raises(ConnectionError):
+                        await client.ping()
+                # ... without dying itself: a fresh connection works,
+                # and the interrupted request was not leaked in-flight.
+                async with ServeClient(port=server.port) as client:
+                    response = await client.solve(graph, seed=0)
+                return (
+                    response,
+                    server.resets,
+                    dict(server.service._inflight),
+                )
+
+        response, resets, inflight = run(scenario())
+        assert tripped == [True]
+        assert response["ok"] is True
+        # The dropped request had already been solved and cached.
+        assert response["source"] == "result-cache"
+        assert resets == 1
+        assert inflight == {}
